@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 1: the motivating infidelity-versus-area picture. For one
+ * device, each placement scheme becomes a point: Human (low infidelity,
+ * large area), Classic (small area, high infidelity), Qplacer (small
+ * area AND low infidelity).
+ */
+
+#include "bench_common.hpp"
+#include "math/stats.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 1: infidelity vs area (Falcon)");
+
+    bench::FlowCache cache;
+    const Evaluator evaluator = bench::makeEvaluator();
+    const Topology topo = makeTopology("Falcon");
+
+    CsvWriter csv("fig01_pareto.csv");
+    csv.header({"placer", "area_mm2", "avg_infidelity"});
+    TextTable table;
+    table.header({"placer", "area (mm^2)", "avg infidelity"});
+
+    for (const PlacerMode mode : {PlacerMode::Human, PlacerMode::Classic,
+                                  PlacerMode::Qplacer}) {
+        const FlowResult &flow = cache.get("Falcon", mode);
+        std::vector<double> fidelities;
+        for (const auto &name : paperBenchmarkNames()) {
+            fidelities.push_back(
+                evaluator
+                    .evaluate(topo, flow.netlist, makeBenchmark(name))
+                    .meanFidelity);
+        }
+        const double infidelity = 1.0 - mean(fidelities);
+        table.row({placerModeName(mode),
+                   TextTable::num(flow.area.amerUm2 / 1e6, 1),
+                   TextTable::num(infidelity, 4)});
+        csv.row({placerModeName(mode),
+                 CsvWriter::cell(flow.area.amerUm2 / 1e6),
+                 CsvWriter::cell(infidelity)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Qplacer should sit near Human's infidelity at roughly "
+                "half the area.\nwrote fig01_pareto.csv\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 4: coupling strength between two directly connected transmons as
+ * the second qubit's frequency sweeps across the first. The peak sits
+ * at resonance (omega_1 = omega_2) and the residual coupling decays as
+ * g^2/Delta away from it; designed couplings are ~20-30 MHz.
+ */
+
+#include "bench_common.hpp"
+#include "physics/coupling.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 4: qubit-qubit coupling vs detuning");
+
+    const double f1 = 5.0e9;
+    const double cp_designed = 1.0; // fF, a designed coupling capacitor
+    const double g0 =
+        couplingStrength(f1, f1, cp_designed, kQubitCapFf, kQubitCapFf);
+    std::printf("bare coupling g at resonance: %.1f MHz "
+                "(paper: 20-30 MHz)\n\n",
+                g0 / 1e6);
+
+    TextTable table;
+    table.header({"omega2 (GHz)", "Delta (MHz)", "g_eff (MHz)",
+                  "exchange amplitude"});
+    CsvWriter csv("fig04_qubit_coupling.csv");
+    csv.header({"omega2_ghz", "delta_mhz", "geff_mhz", "amplitude"});
+
+    for (double f2 = 4.80e9; f2 <= 5.20001e9; f2 += 0.02e9) {
+        const double g =
+            couplingStrength(f1, f2, cp_designed, kQubitCapFf,
+                             kQubitCapFf);
+        const double delta = f2 - f1;
+        const double geff = effectiveCoupling(g, delta);
+        const double amp = rabiAmplitude(g, delta);
+        table.row({TextTable::num(f2 / 1e9, 2),
+                   TextTable::num(delta / 1e6, 0),
+                   TextTable::num(geff / 1e6, 3),
+                   TextTable::num(amp, 4)});
+        csv.row({CsvWriter::cell(f2 / 1e9), CsvWriter::cell(delta / 1e6),
+                 CsvWriter::cell(geff / 1e6), CsvWriter::cell(amp)});
+    }
+    std::printf("%s\nwrote fig04_qubit_coupling.csv\n",
+                table.render().c_str());
+    return 0;
+}

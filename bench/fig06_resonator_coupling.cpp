@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 6: resonator-resonator coupling versus frequency detuning (b)
+ * and versus separation distance (c). The coupling escalates from
+ * g^2/Delta to g as the detuning narrows, and parasitic capacitance
+ * grows as meanders approach.
+ */
+
+#include "bench_common.hpp"
+#include "physics/capacitance.hpp"
+#include "physics/coupling.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 6: resonator-resonator coupling");
+
+    const CapacitanceModel cp_model =
+        CapacitanceModel::resonatorResonator();
+    const double f1 = 6.5e9;
+
+    std::printf("-- (b) coupling vs detuning at fixed spacing 400 um --\n");
+    TextTable by_freq;
+    by_freq.header(
+        {"omega_r2 (GHz)", "Delta (MHz)", "g_eff (MHz)", "amplitude"});
+    CsvWriter csv_f("fig06_resonator_vs_detuning.csv");
+    csv_f.header({"omega2_ghz", "delta_mhz", "geff_mhz", "amplitude"});
+    const double cp_near = cp_model.cp(400.0);
+    for (double f2 = 6.0e9; f2 <= 7.00001e9; f2 += 0.05e9) {
+        const double g = couplingStrength(f1, f2, cp_near,
+                                          kResonatorCapFf,
+                                          kResonatorCapFf);
+        const double delta = f2 - f1;
+        by_freq.row({TextTable::num(f2 / 1e9, 2),
+                     TextTable::num(delta / 1e6, 0),
+                     TextTable::num(effectiveCoupling(g, delta) / 1e6, 3),
+                     TextTable::num(rabiAmplitude(g, delta), 4)});
+        csv_f.row({CsvWriter::cell(f2 / 1e9),
+                   CsvWriter::cell(delta / 1e6),
+                   CsvWriter::cell(effectiveCoupling(g, delta) / 1e6),
+                   CsvWriter::cell(rabiAmplitude(g, delta))});
+    }
+    std::printf("%s\n", by_freq.render().c_str());
+
+    std::printf("-- (c) coupling vs distance at resonance --\n");
+    TextTable by_dist;
+    by_dist.header({"d (um)", "Cp (fF)", "g (MHz)"});
+    CsvWriter csv_d("fig06_resonator_vs_distance.csv");
+    csv_d.header({"d_um", "cp_ff", "g_mhz"});
+    for (double d = 200.0; d <= 2400.0; d += 200.0) {
+        const double cp = cp_model.cp(d);
+        const double g = couplingStrength(f1, f1, cp, kResonatorCapFf,
+                                          kResonatorCapFf);
+        by_dist.row({TextTable::num(d, 0), TextTable::num(cp, 5),
+                     TextTable::num(g / 1e6, 4)});
+        csv_d.row({CsvWriter::cell(d), CsvWriter::cell(cp),
+                   CsvWriter::cell(g / 1e6)});
+    }
+    std::printf("%s\nwrote fig06_resonator_vs_detuning.csv, "
+                "fig06_resonator_vs_distance.csv\n",
+                by_dist.render().c_str());
+    return 0;
+}

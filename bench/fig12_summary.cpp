@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 12: per-topology summary of the three placement schemes --
+ * average benchmark fidelity, number of hotspot-impacted qubits, and
+ * the frequency hotspot proportion P_h.
+ *
+ * Expected shape: P_h(Qplacer) << P_h(Classic) (paper: 0.46% vs 5.87%,
+ * a 12.76x reduction), impacted qubits grow super-linearly with P_h
+ * (Eagle/Classic impacts >90% of the chip), Human is hotspot-free and
+ * Qplacer's fidelity approaches it.
+ */
+
+#include "bench_common.hpp"
+#include "math/stats.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 12: fidelity / impacted qubits / Ph summary");
+
+    bench::FlowCache cache;
+    const Evaluator evaluator = bench::makeEvaluator();
+    CsvWriter csv("fig12_summary.csv");
+    csv.header({"topology", "placer", "avg_fidelity", "impacted_qubits",
+                "ph_percent"});
+
+    const PlacerMode modes[] = {PlacerMode::Qplacer, PlacerMode::Classic,
+                                PlacerMode::Human};
+
+    TextTable table;
+    table.header({"topology", "placer", "avg fidelity",
+                  "impacted qubits", "Ph (%)"});
+    std::map<PlacerMode, std::vector<double>> ph_all;
+    std::map<PlacerMode, std::vector<double>> fid_all;
+    std::map<PlacerMode, std::vector<double>> imp_all;
+
+    for (const auto &topo_name : paperTopologyNames()) {
+        const Topology topo = makeTopology(topo_name);
+        for (const PlacerMode mode : modes) {
+            const FlowResult &flow = cache.get(topo_name, mode);
+            std::vector<double> fidelities;
+            for (const auto &bench_name : paperBenchmarkNames()) {
+                fidelities.push_back(
+                    evaluator
+                        .evaluate(topo, flow.netlist,
+                                  makeBenchmark(bench_name))
+                        .meanFidelity);
+            }
+            const double avg_f = mean(fidelities);
+            const auto impacted = flow.hotspots.impactedQubits.size();
+            table.row({topo_name, placerModeName(mode),
+                       TextTable::fidelity(avg_f),
+                       std::to_string(impacted),
+                       TextTable::num(flow.hotspots.phPercent, 2)});
+            csv.row({topo_name, placerModeName(mode),
+                     CsvWriter::cell(avg_f),
+                     CsvWriter::cell(static_cast<long long>(impacted)),
+                     CsvWriter::cell(flow.hotspots.phPercent)});
+            ph_all[mode].push_back(flow.hotspots.phPercent);
+            fid_all[mode].push_back(avg_f);
+            imp_all[mode].push_back(static_cast<double>(impacted));
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("means: ");
+    for (const PlacerMode mode : modes) {
+        std::printf("%s: fid %.4f, impacted %.1f, Ph %.2f%%   ",
+                    placerModeName(mode), mean(fid_all[mode]),
+                    mean(imp_all[mode]), mean(ph_all[mode]));
+    }
+    const double ratio =
+        mean(ph_all[PlacerMode::Qplacer]) > 1e-9
+            ? mean(ph_all[PlacerMode::Classic]) /
+                  mean(ph_all[PlacerMode::Qplacer])
+            : 0.0;
+    std::printf("\nPh reduction Classic/Qplacer: %.1fx (paper: 12.76x; "
+                "0 means Qplacer eliminated all hotspots)\n",
+                ratio);
+    std::printf("wrote fig12_summary.csv\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 13: minimum enclosing rectangle area (A_mer) of each placement
+ * scheme relative to Qplacer's.
+ *
+ * Expected shape: Classic ~ 1.0x (same engine, same density target);
+ * Human >> 1x (paper: 2.14x mean) because manual designs reserve a full
+ * meander channel between every qubit pair.
+ */
+
+#include "bench_common.hpp"
+#include "math/stats.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 13: A_mer ratios relative to Qplacer");
+
+    bench::FlowCache cache;
+    CsvWriter csv("fig13_area.csv");
+    csv.header({"topology", "placer", "amer_mm2", "ratio_vs_qplacer",
+                "utilization"});
+
+    TextTable table;
+    table.header({"topology", "Qplacer (mm^2)", "Classic ratio",
+                  "Human ratio"});
+    std::vector<double> classic_ratios;
+    std::vector<double> human_ratios;
+
+    for (const auto &topo_name : paperTopologyNames()) {
+        const double base =
+            cache.get(topo_name, PlacerMode::Qplacer).area.amerUm2;
+        std::vector<std::string> row{topo_name,
+                                     TextTable::num(base / 1e6, 1)};
+        for (const PlacerMode mode :
+             {PlacerMode::Qplacer, PlacerMode::Classic,
+              PlacerMode::Human}) {
+            const FlowResult &flow = cache.get(topo_name, mode);
+            const double ratio = flow.area.amerUm2 / base;
+            if (mode == PlacerMode::Classic) {
+                row.push_back(TextTable::num(ratio, 3));
+                classic_ratios.push_back(ratio);
+            } else if (mode == PlacerMode::Human) {
+                row.push_back(TextTable::num(ratio, 3));
+                human_ratios.push_back(ratio);
+            }
+            csv.row({topo_name, placerModeName(mode),
+                     CsvWriter::cell(flow.area.amerUm2 / 1e6),
+                     CsvWriter::cell(ratio),
+                     CsvWriter::cell(flow.area.utilization)});
+        }
+        table.row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("mean ratios: Classic %.3f (paper: 0.951), Human %.3f "
+                "(paper: 2.137)\n",
+                mean(classic_ratios), mean(human_ratios));
+    std::printf("wrote fig13_area.csv\n");
+    return 0;
+}

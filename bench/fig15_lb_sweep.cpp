@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 15: substrate area utilization and hotspot proportion P_h for
+ * Qplacer with resonator segment sizes l_b in {0.2, 0.3, 0.4} mm.
+ *
+ * Expected shape: l_b = 0.3 mm gives the best hotspot/utilization
+ * trade-off (the paper's chosen operating point); 0.2 mm multiplies the
+ * cell count without paying off.
+ */
+
+#include "bench_common.hpp"
+#include "math/stats.hpp"
+
+using namespace qplacer;
+
+int
+main()
+{
+    bench::banner("Fig. 15: segment-size (l_b) sweep");
+
+    bench::FlowCache cache;
+    CsvWriter csv("fig15_lb_sweep.csv");
+    csv.header({"topology", "lb_mm", "cells", "utilization_percent",
+                "ph_percent"});
+
+    TextTable table;
+    table.header({"topology", "lb (mm)", "#cells", "util (%)", "Ph (%)"});
+    std::map<double, std::vector<double>> util_by_lb;
+    std::map<double, std::vector<double>> ph_by_lb;
+
+    for (const auto &topo_name : paperTopologyNames()) {
+        for (const double lb_mm : {0.2, 0.3, 0.4}) {
+            const FlowResult &flow =
+                cache.get(topo_name, PlacerMode::Qplacer, lb_mm * 1000.0);
+            table.row({topo_name, TextTable::num(lb_mm, 1),
+                       std::to_string(flow.netlist.numInstances()),
+                       TextTable::num(100.0 * flow.area.utilization, 1),
+                       TextTable::num(flow.hotspots.phPercent, 2)});
+            csv.row({topo_name, CsvWriter::cell(lb_mm),
+                     CsvWriter::cell(static_cast<long long>(
+                         flow.netlist.numInstances())),
+                     CsvWriter::cell(100.0 * flow.area.utilization),
+                     CsvWriter::cell(flow.hotspots.phPercent)});
+            util_by_lb[lb_mm].push_back(flow.area.utilization);
+            ph_by_lb[lb_mm].push_back(flow.hotspots.phPercent);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    for (const double lb_mm : {0.2, 0.3, 0.4}) {
+        std::printf("lb=%.1f mean: util %.1f%% Ph %.2f%%\n", lb_mm,
+                    100.0 * mean(util_by_lb[lb_mm]),
+                    mean(ph_by_lb[lb_mm]));
+    }
+    std::printf("wrote fig15_lb_sweep.csv\n");
+    return 0;
+}

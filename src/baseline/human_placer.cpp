@@ -1,0 +1,115 @@
+#include "baseline/human_placer.hpp"
+
+#include <algorithm>
+
+#include "math/stats.hpp"
+#include "netlist/partition.hpp"
+#include "physics/resonator.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+HumanPlacer::HumanPlacer(PartitionParams params)
+    : params_(params)
+{
+}
+
+double
+HumanPlacer::pitchUm(const FrequencyAssignment &freqs) const
+{
+    std::vector<double> lengths;
+    lengths.reserve(freqs.resonatorFreqHz.size());
+    for (double f : freqs.resonatorFreqHz)
+        lengths.push_back(resonatorLengthUm(f));
+    const double mean_len =
+        lengths.empty() ? resonatorLengthUm(6.5e9) : mean(lengths);
+
+    const double padded_qubit = kQubitSizeUm + 2.0 * params_.qubitPadUm;
+    // D = L * d_r / (L_q + 2 d_q): the channel long enough to hold the
+    // meandered resonator between two padded qubits (Section V-B).
+    const double channel =
+        mean_len * params_.resonatorPadUm / padded_qubit;
+
+    return padded_qubit + channel;
+}
+
+Netlist
+HumanPlacer::place(const Topology &topo,
+                   const FrequencyAssignment &freqs) const
+{
+    NetlistBuilder builder(params_);
+    Netlist netlist = builder.build(topo, freqs);
+
+    const double pitch = pitchUm(freqs);
+    const double spacing = topo.minEmbeddingSpacing();
+    if (spacing <= 0.0)
+        fatal("HumanPlacer: degenerate topology embedding");
+    const double scale = pitch / spacing;
+
+    // Qubits on the scaled embedding (shifted so everything is in the
+    // positive quadrant with a half-pitch margin).
+    double min_x = topo.embedding.front().x;
+    double min_y = topo.embedding.front().y;
+    for (const Vec2 &p : topo.embedding) {
+        min_x = std::min(min_x, p.x);
+        min_y = std::min(min_y, p.y);
+    }
+    const double margin = pitch / 2.0;
+    for (int q = 0; q < topo.numQubits(); ++q) {
+        netlist.instance(q).pos =
+            Vec2((topo.embedding[q].x - min_x) * scale + margin,
+                 (topo.embedding[q].y - min_y) * scale + margin);
+    }
+
+    // Segments raster-fill each coupler's channel: the rectangle of
+    // width (L_q + 2 d_q) between the two padded qubit pockets, which is
+    // exactly the area the pitch formula reserves for the meander.
+    const double padded_qubit = kQubitSizeUm + 2.0 * params_.qubitPadUm;
+    for (const Resonator &res : netlist.resonators()) {
+        const Vec2 a = netlist.instance(res.qubitA).pos;
+        const Vec2 b = netlist.instance(res.qubitB).pos;
+        const double span = std::max(a.dist(b), 1e-9);
+        const Vec2 dir = (b - a) / span;
+        const Vec2 perp(-dir.y, dir.x);
+        // Clearance covers the qubit pocket plus half a block so that
+        // perpendicular channels meeting at a shared qubit never
+        // overlap at the corner.
+        const double clearance =
+            (padded_qubit + params_.segmentUm) / 2.0;
+        const double channel_len =
+            std::max(span - 2.0 * clearance, params_.segmentUm);
+        const Vec2 start = a + dir * clearance;
+
+        const int across = std::max(
+            1, static_cast<int>(padded_qubit / params_.segmentUm));
+        const int nseg = static_cast<int>(res.segments.size());
+        const int rows = (nseg + across - 1) / across;
+        // The meander is squeezed into the reserved channel: rows are
+        // spread over exactly the channel length, so a channel never
+        // spills into a neighbouring one. Blocks of the *same* resonator
+        // may compress onto each other -- they are one physical wire
+        // snaking at d_r spacing inside its own channel.
+        const double row_pitch = channel_len / rows;
+        for (int s = 0; s < nseg; ++s) {
+            const int row = s / across;
+            const int col = s % across;
+            // Snake ordering keeps consecutive segments adjacent.
+            const int scol = (row % 2 == 0) ? col : (across - 1 - col);
+            const double u = (row + 0.5) * row_pitch;
+            const double v =
+                (scol - (across - 1) / 2.0) * params_.segmentUm;
+            netlist.instance(res.segments[s]).pos =
+                start + dir * u + perp * v;
+        }
+    }
+
+    // Region = bounding box of all padded footprints.
+    std::vector<Rect> rects;
+    rects.reserve(netlist.instances().size());
+    for (const Instance &inst : netlist.instances())
+        rects.push_back(inst.paddedRect());
+    netlist.setRegion(boundingBox(rects));
+    return netlist;
+}
+
+} // namespace qplacer

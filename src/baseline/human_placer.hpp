@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The "Human" baseline (Section V-B): the manually optimized,
+ * crosstalk-free layout style of industrial devices. Qubits sit on the
+ * topology's reference embedding at a pitch that reserves a full
+ * resonator channel between neighbours:
+ *     D = L * d_r / (L_q + 2 d_q)
+ * and each coupler's segments are strung single-file along its edge.
+ */
+
+#ifndef QPLACER_BASELINE_HUMAN_PLACER_HPP
+#define QPLACER_BASELINE_HUMAN_PLACER_HPP
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/** Manual-design baseline layout generator. */
+class HumanPlacer
+{
+  public:
+    explicit HumanPlacer(PartitionParams params = {});
+
+    /**
+     * Build the Human layout: the netlist is constructed exactly as for
+     * the analytical placers (same padding and partitioning), but
+     * positions come from the scaled embedding instead of optimization.
+     * The netlist's region is set to the layout's bounding box.
+     */
+    Netlist place(const Topology &topo,
+                  const FrequencyAssignment &freqs) const;
+
+    /** The grid pitch used (center-to-center), in um. */
+    double pitchUm(const FrequencyAssignment &freqs) const;
+
+  private:
+    PartitionParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_BASELINE_HUMAN_PLACER_HPP

@@ -1,0 +1,115 @@
+#include "circuits/benchmarks.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Circuit
+makeBv(int num_qubits)
+{
+    if (num_qubits < 2)
+        fatal("makeBv: need at least 2 qubits");
+    Circuit c(num_qubits, str("bv-", num_qubits));
+    const int anc = num_qubits - 1;
+    // Prepare |-> on the ancilla, |+> on the data register.
+    c.add1q(GateKind::X, anc);
+    for (int q = 0; q < num_qubits; ++q)
+        c.add1q(GateKind::H, q);
+    // Oracle for the all-ones secret string.
+    for (int q = 0; q < anc; ++q)
+        c.add2q(GateKind::CX, q, anc);
+    for (int q = 0; q < anc; ++q)
+        c.add1q(GateKind::H, q);
+    return c;
+}
+
+Circuit
+makeQaoa(int num_qubits)
+{
+    if (num_qubits < 3)
+        fatal("makeQaoa: need at least 3 qubits");
+    Circuit c(num_qubits, str("qaoa-", num_qubits));
+    for (int q = 0; q < num_qubits; ++q)
+        c.add1q(GateKind::H, q);
+    // Cost layer: ZZ phase on every ring edge.
+    for (int q = 0; q < num_qubits; ++q) {
+        const int next = (q + 1) % num_qubits;
+        c.add2q(GateKind::CX, q, next);
+        c.add1q(GateKind::RZ, next, 0.7);
+        c.add2q(GateKind::CX, q, next);
+    }
+    // Mixer layer.
+    for (int q = 0; q < num_qubits; ++q)
+        c.add1q(GateKind::RX, q, 0.4);
+    return c;
+}
+
+Circuit
+makeIsing(int num_qubits, int steps)
+{
+    if (num_qubits < 2 || steps < 1)
+        fatal("makeIsing: invalid size");
+    Circuit c(num_qubits, str("ising-", num_qubits));
+    for (int q = 0; q < num_qubits; ++q)
+        c.add1q(GateKind::H, q);
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.add2q(GateKind::CX, q, q + 1);
+            c.add1q(GateKind::RZ, q + 1, 0.3);
+            c.add2q(GateKind::CX, q, q + 1);
+        }
+        for (int q = 0; q < num_qubits; ++q)
+            c.add1q(GateKind::RX, q, 0.2);
+    }
+    return c;
+}
+
+Circuit
+makeQgan(int num_qubits, int layers)
+{
+    if (num_qubits < 2 || layers < 1)
+        fatal("makeQgan: invalid size");
+    Circuit c(num_qubits, str("qgan-", num_qubits));
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.add1q(GateKind::RY, q, 0.5 + 0.1 * l);
+            c.add1q(GateKind::RZ, q, 0.3 + 0.1 * l);
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q)
+            c.add2q(GateKind::CX, q, q + 1);
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        c.add1q(GateKind::RY, q, 0.9);
+    return c;
+}
+
+Circuit
+makeBenchmark(const std::string &name)
+{
+    if (name == "bv-4")
+        return makeBv(4);
+    if (name == "bv-9")
+        return makeBv(9);
+    if (name == "bv-16")
+        return makeBv(16);
+    if (name == "qaoa-4")
+        return makeQaoa(4);
+    if (name == "qaoa-9")
+        return makeQaoa(9);
+    if (name == "ising-4")
+        return makeIsing(4);
+    if (name == "qgan-4")
+        return makeQgan(4);
+    if (name == "qgan-9")
+        return makeQgan(9);
+    fatal("makeBenchmark: unknown benchmark '" + name + "'");
+}
+
+std::vector<std::string>
+paperBenchmarkNames()
+{
+    return {"bv-4",   "bv-9",    "bv-16",  "qaoa-4",
+            "qaoa-9", "ising-4", "qgan-4", "qgan-9"};
+}
+
+} // namespace qplacer

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * NISQ benchmark circuit generators (Table I): Bernstein-Vazirani,
+ * QAOA, linear Ising simulation, and QGAN ansatz circuits.
+ */
+
+#ifndef QPLACER_CIRCUITS_BENCHMARKS_HPP
+#define QPLACER_CIRCUITS_BENCHMARKS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuits/circuit.hpp"
+
+namespace qplacer {
+
+/**
+ * Bernstein-Vazirani over @p num_qubits total qubits (n-1 data + 1
+ * ancilla) with the all-ones secret (worst case).
+ */
+Circuit makeBv(int num_qubits);
+
+/**
+ * Depth-1 QAOA for MaxCut on the n-cycle: per-edge ZZ phase
+ * (CX-RZ-CX) plus an RX mixer layer.
+ */
+Circuit makeQaoa(int num_qubits);
+
+/**
+ * Trotterized linear Ising chain ([7]): @p steps first-order Trotter
+ * steps of nearest-neighbour ZZ plus transverse-field RX.
+ */
+Circuit makeIsing(int num_qubits, int steps = 3);
+
+/**
+ * QGAN generator ansatz ([55]): @p layers hardware-efficient layers of
+ * RY+RZ rotations and a CX entangling chain.
+ */
+Circuit makeQgan(int num_qubits, int layers = 2);
+
+/**
+ * Benchmark by paper name: "bv-4", "bv-9", "bv-16", "qaoa-4", "qaoa-9",
+ * "ising-4", "qgan-4", "qgan-9". fatal() on unknown names.
+ */
+Circuit makeBenchmark(const std::string &name);
+
+/** The eight benchmark names, in the paper's order. */
+std::vector<std::string> paperBenchmarkNames();
+
+} // namespace qplacer
+
+#endif // QPLACER_CIRCUITS_BENCHMARKS_HPP

@@ -1,0 +1,113 @@
+#include "circuits/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+bool
+Gate::isTwoQubit() const
+{
+    return kind == GateKind::CZ || kind == GateKind::CX ||
+           kind == GateKind::Swap;
+}
+
+std::string
+Gate::name() const
+{
+    switch (kind) {
+      case GateKind::H:
+        return "h";
+      case GateKind::X:
+        return "x";
+      case GateKind::RX:
+        return "rx";
+      case GateKind::RY:
+        return "ry";
+      case GateKind::RZ:
+        return "rz";
+      case GateKind::CZ:
+        return "cz";
+      case GateKind::CX:
+        return "cx";
+      case GateKind::Swap:
+        return "swap";
+    }
+    return "?";
+}
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits <= 0)
+        fatal("Circuit: non-positive qubit count");
+}
+
+void
+Circuit::add1q(GateKind kind, int q, double param)
+{
+    if (q < 0 || q >= numQubits_)
+        panic(str("Circuit::add1q: qubit ", q, " out of range"));
+    Gate g;
+    g.kind = kind;
+    g.q0 = q;
+    g.param = param;
+    if (g.isTwoQubit())
+        panic("Circuit::add1q: two-qubit kind");
+    gates_.push_back(g);
+}
+
+void
+Circuit::add2q(GateKind kind, int q0, int q1, double param)
+{
+    if (q0 < 0 || q0 >= numQubits_ || q1 < 0 || q1 >= numQubits_)
+        panic(str("Circuit::add2q: qubit out of range (", q0, ", ", q1,
+                  ")"));
+    if (q0 == q1)
+        panic("Circuit::add2q: identical operands");
+    Gate g;
+    g.kind = kind;
+    g.q0 = q0;
+    g.q1 = q1;
+    g.param = param;
+    if (!g.isTwoQubit())
+        panic("Circuit::add2q: single-qubit kind");
+    gates_.push_back(g);
+}
+
+int
+Circuit::count1q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        n += g.isTwoQubit() ? 0 : 1;
+    return n;
+}
+
+int
+Circuit::count2q() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        n += g.isTwoQubit() ? 1 : 0;
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(numQubits_, 0);
+    for (const Gate &g : gates_) {
+        if (g.isTwoQubit()) {
+            const int l = std::max(level[g.q0], level[g.q1]) + 1;
+            level[g.q0] = l;
+            level[g.q1] = l;
+        } else {
+            ++level[g.q0];
+        }
+    }
+    return *std::max_element(level.begin(), level.end());
+}
+
+} // namespace qplacer

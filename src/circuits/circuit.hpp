@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal quantum circuit IR for the NISQ benchmarks (Table I). Gates
+ * are what the fidelity model needs: single-qubit pulses and two-qubit
+ * (RIP/CZ-class) interactions.
+ */
+
+#ifndef QPLACER_CIRCUITS_CIRCUIT_HPP
+#define QPLACER_CIRCUITS_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+namespace qplacer {
+
+/** Gate kinds relevant to the error model. */
+enum class GateKind
+{
+    H,    ///< Hadamard (1q).
+    X,    ///< Pauli X (1q).
+    RX,   ///< X rotation (1q).
+    RY,   ///< Y rotation (1q).
+    RZ,   ///< Z rotation (1q).
+    CZ,   ///< Controlled-Z (2q, RIP gate).
+    CX,   ///< Controlled-X (2q; compiled to CZ + 1q on hardware).
+    Swap, ///< Inserted by routing; costs three 2q gates.
+};
+
+/** One gate application. */
+struct Gate
+{
+    GateKind kind = GateKind::H;
+    int q0 = -1;
+    int q1 = -1; ///< Second operand for 2q gates, else -1.
+    double param = 0.0;
+
+    /** True for CZ/CX/Swap. */
+    bool isTwoQubit() const;
+
+    /** Short mnemonic for dumps. */
+    std::string name() const;
+};
+
+/** Ordered gate list over n logical qubits. */
+class Circuit
+{
+  public:
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Append a single-qubit gate. */
+    void add1q(GateKind kind, int q, double param = 0.0);
+
+    /** Append a two-qubit gate. */
+    void add2q(GateKind kind, int q0, int q1, double param = 0.0);
+
+    /** Number of single-qubit gates. */
+    int count1q() const;
+
+    /** Number of two-qubit gates (Swap counts as one entry here). */
+    int count2q() const;
+
+    /** Circuit depth: longest per-qubit chain of gates. */
+    int depth() const;
+
+  private:
+    int numQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CIRCUITS_CIRCUIT_HPP

@@ -1,0 +1,113 @@
+#include "circuits/mapper.hpp"
+
+#include <algorithm>
+
+#include "circuits/router.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Mapper::Mapper(const Graph &device)
+    : device_(device)
+{
+}
+
+MappedCircuit
+Mapper::map(const Circuit &circuit, const std::vector<int> &subset) const
+{
+    const int n = circuit.numQubits();
+    if (static_cast<int>(subset.size()) < n) {
+        fatal(str("Mapper: subset of ", subset.size(),
+                  " qubits cannot host ", n, "-qubit circuit"));
+    }
+
+    std::vector<int> mapping; // sub-index by subgraph node order
+    const Graph sub = device_.inducedSubgraph(subset, &mapping);
+    if (!sub.isConnected())
+        fatal("Mapper: subset is not connected");
+
+    // Initial mapping: BFS order from the highest-degree subset node.
+    int root = 0;
+    for (int v = 1; v < sub.numNodes(); ++v) {
+        if (sub.degree(v) > sub.degree(root))
+            root = v;
+    }
+    std::vector<int> order;
+    {
+        const std::vector<int> dist = sub.bfsDistances(root);
+        order.resize(sub.numNodes());
+        for (int v = 0; v < sub.numNodes(); ++v)
+            order[v] = v;
+        std::sort(order.begin(), order.end(), [&](int a, int b) {
+            if (dist[a] != dist[b])
+                return dist[a] < dist[b];
+            return a < b;
+        });
+    }
+
+    // phys[l] = subgraph node currently holding logical qubit l.
+    std::vector<int> phys(n);
+    for (int l = 0; l < n; ++l)
+        phys[l] = order[l];
+    // holder[node] = logical qubit on that node, or -1.
+    std::vector<int> holder(sub.numNodes(), -1);
+    for (int l = 0; l < n; ++l)
+        holder[phys[l]] = l;
+
+    MappedCircuit out;
+    const int device_n = device_.numNodes();
+    out.gates1q.assign(device_n, 0);
+    out.gates2q.assign(device_n, 0);
+    std::vector<char> active(device_n, 0);
+
+    auto touch = [&](int device_q) { active[device_q] = 1; };
+    auto emit1q = [&](GateKind kind, int node, double param) {
+        const int dq = subset[node];
+        out.gates.push_back(Gate{kind, dq, -1, param});
+        ++out.gates1q[dq];
+        touch(dq);
+    };
+    auto emit2q = [&](GateKind kind, int na, int nb, double param) {
+        const int da = subset[na];
+        const int db = subset[nb];
+        out.gates.push_back(Gate{kind, da, db, param});
+        // A SWAP decomposes into three native two-qubit gates.
+        const int cost = kind == GateKind::Swap ? 3 : 1;
+        out.gates2q[da] += cost;
+        out.gates2q[db] += cost;
+        touch(da);
+        touch(db);
+    };
+
+    for (const Gate &g : circuit.gates()) {
+        if (!g.isTwoQubit()) {
+            emit1q(g.kind, phys[g.q0], g.param);
+            continue;
+        }
+        // Route until the operands are adjacent.
+        while (!sub.hasEdge(phys[g.q0], phys[g.q1])) {
+            const std::vector<int> path =
+                shortestPath(sub, phys[g.q0], phys[g.q1]);
+            const int here = path[0];
+            const int next = path[1];
+            emit2q(GateKind::Swap, here, next, 0.0);
+            ++out.numSwaps;
+            // Update the mapping: whatever sits on `next` moves back.
+            const int other = holder[next];
+            holder[here] = other;
+            holder[next] = g.q0;
+            if (other >= 0)
+                phys[other] = here;
+            phys[g.q0] = next;
+        }
+        emit2q(g.kind, phys[g.q0], phys[g.q1], g.param);
+    }
+
+    for (int dq = 0; dq < device_n; ++dq) {
+        if (active[dq])
+            out.activeQubits.push_back(dq);
+    }
+    return out;
+}
+
+} // namespace qplacer

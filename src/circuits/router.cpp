@@ -1,0 +1,40 @@
+#include "circuits/router.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+std::vector<int>
+shortestPath(const Graph &graph, int from, int to)
+{
+    std::vector<int> parent(graph.numNodes(), -1);
+    std::queue<int> frontier;
+    parent[from] = from;
+    frontier.push(from);
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        if (u == to)
+            break;
+        for (int v : graph.neighbors(u)) {
+            if (parent[v] < 0) {
+                parent[v] = u;
+                frontier.push(v);
+            }
+        }
+    }
+    if (parent[to] < 0)
+        panic(str("shortestPath: ", to, " unreachable from ", from));
+
+    std::vector<int> path;
+    for (int v = to; v != from; v = parent[v])
+        path.push_back(v);
+    path.push_back(from);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace qplacer

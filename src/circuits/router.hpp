@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Shortest-path routing helper used by the SWAP router.
+ */
+
+#ifndef QPLACER_CIRCUITS_ROUTER_HPP
+#define QPLACER_CIRCUITS_ROUTER_HPP
+
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace qplacer {
+
+/**
+ * BFS shortest path from @p from to @p to (inclusive of both ends).
+ * panics if unreachable (subsets are connected by construction).
+ */
+std::vector<int> shortestPath(const Graph &graph, int from, int to);
+
+} // namespace qplacer
+
+#endif // QPLACER_CIRCUITS_ROUTER_HPP

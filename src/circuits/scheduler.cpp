@@ -1,0 +1,51 @@
+#include "circuits/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Schedule
+scheduleAsap(const MappedCircuit &mapped, const Graph &device, double t1q,
+             double t2q)
+{
+    const int n = device.numNodes();
+    Schedule sched;
+    sched.busyS.assign(n, 0.0);
+    sched.edgeBusyS.assign(device.numEdges(), 0.0);
+
+    // Edge lookup (u, v) -> edge id.
+    std::map<std::pair<int, int>, int> edge_id;
+    const auto &edges = device.edges();
+    for (int e = 0; e < device.numEdges(); ++e)
+        edge_id[edges[e]] = e;
+
+    std::vector<double> avail(n, 0.0);
+    for (const Gate &g : mapped.gates) {
+        if (!g.isTwoQubit()) {
+            avail[g.q0] += t1q;
+            sched.busyS[g.q0] += t1q;
+            continue;
+        }
+        const double dur = (g.kind == GateKind::Swap) ? 3.0 * t2q : t2q;
+        const double start = std::max(avail[g.q0], avail[g.q1]);
+        avail[g.q0] = start + dur;
+        avail[g.q1] = start + dur;
+        sched.busyS[g.q0] += dur;
+        sched.busyS[g.q1] += dur;
+
+        const auto key = std::make_pair(std::min(g.q0, g.q1),
+                                        std::max(g.q0, g.q1));
+        const auto it = edge_id.find(key);
+        if (it == edge_id.end())
+            panic(str("scheduleAsap: gate on uncoupled pair ", g.q0, "-",
+                      g.q1));
+        sched.edgeBusyS[it->second] += dur;
+    }
+    sched.durationS = *std::max_element(avail.begin(), avail.end());
+    return sched;
+}
+
+} // namespace qplacer

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASAP scheduling of a mapped circuit: computes the program's makespan
+ * and per-qubit busy times, the durations the decoherence and crosstalk
+ * error models integrate over.
+ */
+
+#ifndef QPLACER_CIRCUITS_SCHEDULER_HPP
+#define QPLACER_CIRCUITS_SCHEDULER_HPP
+
+#include <vector>
+
+#include "circuits/mapper.hpp"
+#include "physics/constants.hpp"
+
+namespace qplacer {
+
+/** Timing summary of a mapped circuit. */
+struct Schedule
+{
+    /** Total program duration (s). */
+    double durationS = 0.0;
+
+    /** Time each device qubit spends executing gates (s), by qubit id. */
+    std::vector<double> busyS;
+
+    /**
+     * Two-qubit-gate occupation time per device coupler/edge (s),
+     * indexed by edge id; filled only when the device graph is given.
+     */
+    std::vector<double> edgeBusyS;
+};
+
+/**
+ * ASAP schedule of @p mapped.
+ * @param device     Device graph (for per-edge resonator usage).
+ * @param t1q, t2q   Gate durations (s); a SWAP takes 3 * t2q.
+ */
+Schedule scheduleAsap(const MappedCircuit &mapped, const Graph &device,
+                      double t1q = kGate1qSeconds,
+                      double t2q = kGate2qSeconds);
+
+} // namespace qplacer
+
+#endif // QPLACER_CIRCUITS_SCHEDULER_HPP

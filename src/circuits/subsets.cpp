@@ -1,0 +1,62 @@
+#include "circuits/subsets.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace qplacer {
+
+std::vector<int>
+sampleConnectedSubset(const Graph &graph, int size, std::uint64_t seed)
+{
+    const int n = graph.numNodes();
+    if (size <= 0 || size > n)
+        fatal(str("sampleConnectedSubset: size ", size,
+                  " out of range for ", n, " nodes"));
+    Rng rng(seed);
+
+    std::vector<int> subset;
+    std::vector<char> in_subset(n, 0);
+    std::vector<int> frontier;
+
+    const int start = static_cast<int>(rng.below(n));
+    subset.push_back(start);
+    in_subset[start] = 1;
+    for (int v : graph.neighbors(start))
+        frontier.push_back(v);
+
+    while (static_cast<int>(subset.size()) < size) {
+        // Drop frontier nodes already absorbed.
+        frontier.erase(std::remove_if(frontier.begin(), frontier.end(),
+                                      [&](int v) { return in_subset[v]; }),
+                       frontier.end());
+        if (frontier.empty())
+            panic("sampleConnectedSubset: graph exhausted (disconnected?)");
+        const std::size_t pick = rng.below(frontier.size());
+        const int v = frontier[pick];
+        frontier.erase(frontier.begin() + static_cast<long>(pick));
+        subset.push_back(v);
+        in_subset[v] = 1;
+        for (int u : graph.neighbors(v)) {
+            if (!in_subset[u])
+                frontier.push_back(u);
+        }
+    }
+    std::sort(subset.begin(), subset.end());
+    return subset;
+}
+
+std::vector<std::vector<int>>
+sampleSubsets(const Graph &graph, int size, int count, std::uint64_t seed)
+{
+    std::vector<std::vector<int>> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        out.push_back(sampleConnectedSubset(
+            graph, size, seed * 1000003ULL + static_cast<std::uint64_t>(i)));
+    }
+    return out;
+}
+
+} // namespace qplacer

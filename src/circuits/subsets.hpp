@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Connected device-subset sampling: the evaluation maps each benchmark
+ * onto 50 different connected subsets of the device's qubits
+ * (Section VI-A) so that performance is averaged over the whole chip.
+ */
+
+#ifndef QPLACER_CIRCUITS_SUBSETS_HPP
+#define QPLACER_CIRCUITS_SUBSETS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace qplacer {
+
+/**
+ * Sample one connected subset of @p size nodes by randomized BFS growth
+ * from a random seed node.
+ */
+std::vector<int> sampleConnectedSubset(const Graph &graph, int size,
+                                       std::uint64_t seed);
+
+/**
+ * Sample @p count connected subsets deterministically from @p seed.
+ * Subsets may repeat on small devices (as in the paper, which aims to
+ * cover all physical qubits).
+ */
+std::vector<std::vector<int>> sampleSubsets(const Graph &graph, int size,
+                                            int count, std::uint64_t seed);
+
+} // namespace qplacer
+
+#endif // QPLACER_CIRCUITS_SUBSETS_HPP

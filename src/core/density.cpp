@@ -1,0 +1,93 @@
+#include "core/density.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+DensityModel::DensityModel(const Netlist &netlist, int bins,
+                           double target_density)
+    : netlist_(netlist),
+      grid_(netlist.region(), bins, bins),
+      solver_(bins, bins, netlist.region().width(),
+              netlist.region().height()),
+      targetDensity_(target_density)
+{
+    if (target_density <= 0.0 || target_density > 1.0)
+        fatal("DensityModel: target density must be in (0, 1]");
+}
+
+int
+DensityModel::autoBinCount(int num_instances)
+{
+    // Roughly one bin per instance, clamped to [32, 256].
+    int bins = 32;
+    while (bins * bins < num_instances && bins < 256)
+        bins *= 2;
+    return bins;
+}
+
+double
+DensityModel::evaluate(const std::vector<Vec2> &positions,
+                       std::vector<Vec2> &gradient)
+{
+    const auto &instances = netlist_.instances();
+    if (positions.size() != instances.size())
+        panic("DensityModel::evaluate: position count mismatch");
+
+    gradient.assign(positions.size(), Vec2());
+
+    // Rasterize charges. The density map stores charge per bin.
+    grid_.clear();
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const Instance &inst = instances[i];
+        const Rect fp = Rect::fromCenter(positions[i], inst.paddedWidth(),
+                                         inst.paddedHeight());
+        grid_.splat(fp, inst.paddedArea());
+    }
+
+    // Overflow: charge above the per-bin capacity.
+    const double capacity = targetDensity_ * grid_.binArea();
+    double over = 0.0;
+    double total_charge = 0.0;
+    for (double q : grid_.data()) {
+        over += std::max(0.0, q - capacity);
+        total_charge += q;
+    }
+    overflow_ = total_charge > 0.0 ? over / total_charge : 0.0;
+
+    // Normalize the map to charge density (charge / bin area) before the
+    // Poisson solve so the field scale is resolution-independent.
+    std::vector<double> density = grid_.data();
+    const double inv_bin_area = 1.0 / grid_.binArea();
+    for (double &d : density)
+        d *= inv_bin_area;
+
+    const PoissonSolver::Solution sol = solver_.solve(density);
+
+    // Energy and per-instance gradient: sample psi / xi over the
+    // footprint (area-weighted average over overlapped bins).
+    BinGrid psi(grid_.region(), grid_.nx(), grid_.ny());
+    BinGrid ex(grid_.region(), grid_.nx(), grid_.ny());
+    BinGrid ey(grid_.region(), grid_.nx(), grid_.ny());
+    psi.data() = sol.potential;
+    ex.data() = sol.fieldX;
+    ey.data() = sol.fieldY;
+
+    double energy = 0.0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const Instance &inst = instances[i];
+        const double q = inst.paddedArea();
+        const Rect fp = Rect::fromCenter(positions[i], inst.paddedWidth(),
+                                         inst.paddedHeight());
+        energy += q * psi.sample(fp);
+        // d(energy)/dx = -q * xi_x  (descending moves along the field).
+        gradient[i].x = -q * ex.sample(fp);
+        gradient[i].y = -q * ey.sample(fp);
+    }
+    return energy;
+}
+
+} // namespace qplacer

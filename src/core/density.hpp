@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Electrostatic density penalty D(x, y) (Eq. 11/13).
+ *
+ * Instances are charges of magnitude equal to their padded area; the
+ * density map is splatted onto a bin grid, the Poisson potential is
+ * solved spectrally, and each instance feels force = charge * field.
+ * The penalty value is the total potential energy sum_i q_i psi(x_i).
+ */
+
+#ifndef QPLACER_CORE_DENSITY_HPP
+#define QPLACER_CORE_DENSITY_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/poisson.hpp"
+#include "geometry/bin_grid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Bin-based electrostatic density model. */
+class DensityModel
+{
+  public:
+    /**
+     * @param netlist        Netlist (kept by reference).
+     * @param bins           Bins per axis (power of two).
+     * @param target_density Target bin fill D-hat in [0, 1].
+     */
+    DensityModel(const Netlist &netlist, int bins, double target_density);
+
+    /**
+     * Evaluate the density penalty at @p positions.
+     * @param positions Instance centers.
+     * @param gradient  Output gradient (resized/zeroed inside):
+     *                  d(energy)/d(x_i) = -q_i * xi_x(x_i).
+     * @return electrostatic energy sum_i q_i psi_i.
+     */
+    double evaluate(const std::vector<Vec2> &positions,
+                    std::vector<Vec2> &gradient);
+
+    /**
+     * Density overflow after the last evaluate(): total charge above the
+     * target bin capacity, normalized by total charge. The optimizer's
+     * convergence criterion.
+     */
+    double overflow() const { return overflow_; }
+
+    /** Pick a power-of-two bin count for a netlist of n instances. */
+    static int autoBinCount(int num_instances);
+
+    const BinGrid &grid() const { return grid_; }
+
+  private:
+    const Netlist &netlist_;
+    BinGrid grid_;
+    PoissonSolver solver_;
+    double targetDensity_;
+    double overflow_ = 1.0;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CORE_DENSITY_HPP

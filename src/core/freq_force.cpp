@@ -1,0 +1,65 @@
+#include "core/freq_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+FreqForceModel::FreqForceModel(const Netlist &netlist, double threshold_hz,
+                               double cutoff_factor)
+    : netlist_(netlist),
+      map_(netlist.frequencies(), netlist.resonatorGroups(), threshold_hz),
+      cutoffFactor_(cutoff_factor)
+{
+    if (cutoff_factor <= 0.0)
+        fatal("FreqForceModel: non-positive cutoff factor");
+    charge_.resize(netlist.instances().size());
+    for (std::size_t i = 0; i < charge_.size(); ++i)
+        charge_[i] = std::sqrt(netlist.instances()[i].paddedArea());
+}
+
+double
+FreqForceModel::evaluate(const std::vector<Vec2> &positions,
+                         std::vector<Vec2> &gradient) const
+{
+    if (positions.size() != charge_.size())
+        panic("FreqForceModel::evaluate: position count mismatch");
+    gradient.assign(positions.size(), Vec2());
+
+    double potential = 0.0;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        for (std::int32_t j : map_.partners(i)) {
+            if (static_cast<std::size_t>(j) <= i)
+                continue; // handle each unordered pair once
+            const double s = charge_[i] * charge_[j];
+            const double radius =
+                cutoffFactor_ * (charge_[i] + charge_[j]);
+            Vec2 delta = positions[i] - positions[j];
+            double d = delta.norm();
+            if (d >= radius)
+                continue; // already spatially isolated
+            // Clamp so coincident instances still get a finite, directed
+            // push (deterministic tie-break direction from the indices).
+            const double d_min = 0.25 * (charge_[i] + charge_[j]);
+            if (d < 1e-9) {
+                const double ang =
+                    0.7548776662 * static_cast<double>(i * 31 + j);
+                delta = Vec2(std::cos(ang), std::sin(ang)) * d_min;
+                d = d_min;
+            } else if (d < d_min) {
+                delta = delta * (d_min / d);
+                d = d_min;
+            }
+            potential += s * (1.0 / d - 1.0 / radius);
+            // dU/dx_i = -s (x_i - x_j) / d^3.
+            const double coef = -s / (d * d * d);
+            gradient[i] += delta * coef;
+            gradient[j] -= delta * coef;
+        }
+    }
+    return potential;
+}
+
+} // namespace qplacer

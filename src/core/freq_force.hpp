@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Frequency repulsive force F(i, j; x, y) (Eq. 9/10).
+ *
+ * Near-resonant instance pairs (from the precomputed collision map,
+ * same-resonator pairs excluded) repel each other with a Coulomb 1/r
+ * potential, so minimizing the penalty drives them apart spatially.
+ */
+
+#ifndef QPLACER_CORE_FREQ_FORCE_HPP
+#define QPLACER_CORE_FREQ_FORCE_HPP
+
+#include <vector>
+
+#include "freq/collision_map.hpp"
+#include "geometry/vec2.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Coulomb-style repulsion between near-resonant instances. */
+class FreqForceModel
+{
+  public:
+    /**
+     * @param netlist       Netlist (kept by reference).
+     * @param threshold_hz  Detuning threshold Delta_c.
+     * @param cutoff_factor Pairs further apart than
+     *                      cutoff_factor * (size_i + size_j) feel no
+     *                      force; this truncation keeps the repulsion a
+     *                      local separation constraint instead of a
+     *                      long-range scatter force.
+     *
+     * The per-pair strength is scaled by the geometric mean of the two
+     * padded footprints so that large components repel proportionally.
+     */
+    FreqForceModel(const Netlist &netlist, double threshold_hz,
+                   double cutoff_factor = 0.75);
+
+    /**
+     * Truncated Coulomb potential
+     *   U = sum_pairs s_ij * (1/dist - 1/R_ij)  for dist < R_ij
+     * and its gradient. Distances are clamped below at a fraction of
+     * the instance size to keep the force finite when instances
+     * coincide.
+     */
+    double evaluate(const std::vector<Vec2> &positions,
+                    std::vector<Vec2> &gradient) const;
+
+    /** The collision map the force iterates over. */
+    const CollisionMap &collisionMap() const { return map_; }
+
+  private:
+    const Netlist &netlist_;
+    CollisionMap map_;
+    std::vector<double> charge_; ///< Per-instance repulsion scale.
+    double cutoffFactor_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CORE_FREQ_FORCE_HPP

@@ -1,0 +1,107 @@
+#include "core/nesterov.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+NesterovOptimizer::NesterovOptimizer(Rect region,
+                                     std::vector<Vec2> half_sizes,
+                                     double max_step_frac)
+    : region_(region), halfSizes_(std::move(half_sizes))
+{
+    maxStep_ = max_step_frac *
+               std::hypot(region.width(), region.height());
+}
+
+void
+NesterovOptimizer::reset(const std::vector<Vec2> &initial)
+{
+    if (initial.size() != halfSizes_.size())
+        panic("NesterovOptimizer::reset: size mismatch");
+    x_ = initial;
+    v_ = initial;
+    clamp(x_);
+    clamp(v_);
+    theta_ = 1.0;
+    alpha_ = 0.0;
+    havePrev_ = false;
+}
+
+void
+NesterovOptimizer::clamp(std::vector<Vec2> &positions) const
+{
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        const Vec2 &h = halfSizes_[i];
+        positions[i].x = std::clamp(positions[i].x, region_.lo.x + h.x,
+                                    region_.hi.x - h.x);
+        positions[i].y = std::clamp(positions[i].y, region_.lo.y + h.y,
+                                    region_.hi.y - h.y);
+    }
+}
+
+double
+NesterovOptimizer::step(const std::vector<Vec2> &gradient)
+{
+    if (gradient.size() != v_.size())
+        panic("NesterovOptimizer::step: gradient size mismatch");
+
+    // Barzilai-Borwein step length from successive lookahead gradients.
+    if (havePrev_) {
+        double num = 0.0;
+        double den = 0.0;
+        for (std::size_t i = 0; i < v_.size(); ++i) {
+            const Vec2 ds = v_[i] - prevV_[i];
+            const Vec2 dg = gradient[i] - prevG_[i];
+            num += ds.normSq();
+            den += ds.dot(dg);
+        }
+        if (den > 1e-16)
+            alpha_ = num / den;
+        // Otherwise keep the previous step length (curvature estimate
+        // unavailable this iteration).
+    }
+    if (alpha_ <= 0.0) {
+        // First iteration: normalize so the largest move is a small
+        // fraction of the region.
+        double gmax = 0.0;
+        for (const Vec2 &g : gradient)
+            gmax = std::max({gmax, std::abs(g.x), std::abs(g.y)});
+        const double span =
+            std::max(region_.width(), region_.height());
+        alpha_ = gmax > 1e-16 ? 0.002 * span / gmax : 1.0;
+    }
+
+    // Cap the largest displacement at maxStep_.
+    double gmax = 0.0;
+    for (const Vec2 &g : gradient)
+        gmax = std::max(gmax, g.norm());
+    double alpha = alpha_;
+    if (gmax * alpha > maxStep_)
+        alpha = maxStep_ / gmax;
+
+    prevV_ = v_;
+    prevG_ = gradient;
+    havePrev_ = true;
+
+    // Nesterov update.
+    std::vector<Vec2> x_new(v_.size());
+    for (std::size_t i = 0; i < v_.size(); ++i)
+        x_new[i] = v_[i] - gradient[i] * alpha;
+    clamp(x_new);
+
+    const double theta_new =
+        (1.0 + std::sqrt(1.0 + 4.0 * theta_ * theta_)) / 2.0;
+    const double momentum = (theta_ - 1.0) / theta_new;
+    for (std::size_t i = 0; i < v_.size(); ++i)
+        v_[i] = x_new[i] + (x_new[i] - x_[i]) * momentum;
+    clamp(v_);
+
+    x_ = std::move(x_new);
+    theta_ = theta_new;
+    return alpha;
+}
+
+} // namespace qplacer

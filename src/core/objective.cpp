@@ -1,0 +1,142 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+double
+l1Norm(const std::vector<Vec2> &g)
+{
+    double acc = 0.0;
+    for (const Vec2 &v : g)
+        acc += std::abs(v.x) + std::abs(v.y);
+    return acc;
+}
+
+} // namespace
+
+PlacementObjective::PlacementObjective(const Netlist &netlist,
+                                       const PlacerParams &params)
+    : netlist_(netlist),
+      params_(params),
+      wirelength_(netlist,
+                  std::max(1e-3, params.gammaFrac *
+                                     netlist.region().width())),
+      density_(netlist,
+               params.bins > 0
+                   ? params.bins
+                   : DensityModel::autoBinCount(netlist.numInstances()),
+               params.targetDensity)
+{
+    if (params.freqForce) {
+        freqForce_ = std::make_unique<FreqForceModel>(
+            netlist, params.detuningThresholdHz,
+            params.freqCutoffFactor);
+    }
+    gammaBase_ = density_.grid().binWidth();
+
+    netDegree_.assign(netlist.instances().size(), 0.0);
+    for (const Net &net : netlist.nets()) {
+        netDegree_[net.a] += net.weight;
+        netDegree_[net.b] += net.weight;
+    }
+}
+
+PlacementObjective::Components
+PlacementObjective::evaluate(const std::vector<Vec2> &positions,
+                             std::vector<Vec2> &gradient)
+{
+    Components out;
+    out.wirelength = wirelength_.evaluate(positions, gradWl_);
+    out.density = density_.evaluate(positions, gradDen_);
+    if (freqForce_) {
+        out.freq = freqForce_->evaluate(positions, gradFreq_);
+        // The truncated force is often dormant at the warm start (all
+        // pairs isolated); initialize its penalty weight the first time
+        // it produces a gradient.
+        if (!freqLambdaLive_) {
+            const double fr_norm = l1Norm(gradFreq_);
+            if (fr_norm > 1e-12) {
+                freqLambda_ =
+                    params_.freqWeight * l1Norm(gradWl_) / fr_norm;
+                freqLambdaInit_ = freqLambda_;
+                freqLambdaLive_ = true;
+            }
+        }
+    } else {
+        gradFreq_.assign(positions.size(), Vec2());
+    }
+
+    out.total =
+        out.wirelength + lambda_ * out.density + freqLambda_ * out.freq;
+
+    gradient.assign(positions.size(), Vec2());
+    const auto &instances = netlist_.instances();
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        Vec2 g = gradWl_[i] + gradDen_[i] * lambda_ +
+                 gradFreq_[i] * freqLambda_;
+        // Jacobi preconditioner (ePlace): net degree + lambda * charge.
+        const double h = std::max(
+            1.0, netDegree_[i] + lambda_ * instances[i].paddedArea());
+        gradient[i] = g / h;
+    }
+    return out;
+}
+
+void
+PlacementObjective::initPenalties(const std::vector<Vec2> &positions)
+{
+    wirelength_.evaluate(positions, gradWl_);
+    density_.evaluate(positions, gradDen_);
+    const double wl_norm = l1Norm(gradWl_);
+    const double den_norm = l1Norm(gradDen_);
+    lambda_ = den_norm > 1e-12 ? wl_norm / den_norm : 0.0;
+
+    freqLambda_ = 0.0;
+    freqLambdaLive_ = false;
+    wlGradNorm_ = wl_norm;
+    if (freqForce_) {
+        freqForce_->evaluate(positions, gradFreq_);
+        const double fr_norm = l1Norm(gradFreq_);
+        if (fr_norm > 1e-12) {
+            freqLambda_ = params_.freqWeight * wl_norm / fr_norm;
+            freqLambdaInit_ = freqLambda_;
+            freqLambdaLive_ = true;
+        }
+    }
+}
+
+void
+PlacementObjective::growPenalties()
+{
+    lambda_ *= params_.lambdaGrowth;
+    if (freqLambdaLive_) {
+        const double cap =
+            freqLambdaInit_ * params_.freqLambdaMaxFactor;
+        freqLambda_ =
+            std::min(freqLambda_ * params_.freqLambdaGrowth, cap);
+    }
+}
+
+void
+PlacementObjective::updateGamma(double overflow)
+{
+    // Large overflow -> heavy smoothing (stable global view); as the
+    // design spreads, sharpen toward true HPWL.
+    const double gamma =
+        gammaBase_ * (1.0 + 9.0 * std::clamp(overflow, 0.0, 1.0));
+    wirelength_.setGamma(gamma);
+}
+
+double
+PlacementObjective::hpwl(const std::vector<Vec2> &positions) const
+{
+    return wirelength_.hpwl(positions);
+}
+
+} // namespace qplacer

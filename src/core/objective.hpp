@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The penalty-method objective of Eq. (14):
+ *   min  WL(x, y) + lambda * D(x, y) + lambda_f * F(x, y)
+ * with lambda/lambda_f initialized from gradient-norm ratios and grown
+ * multiplicatively each iteration, shifting the engine from pure area
+ * (wirelength) optimization toward constraint satisfaction.
+ */
+
+#ifndef QPLACER_CORE_OBJECTIVE_HPP
+#define QPLACER_CORE_OBJECTIVE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/density.hpp"
+#include "core/freq_force.hpp"
+#include "core/params.hpp"
+#include "core/wirelength.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Combined placement objective with penalty schedule. */
+class PlacementObjective
+{
+  public:
+    PlacementObjective(const Netlist &netlist, const PlacerParams &params);
+
+    /** Component values from the last evaluate(). */
+    struct Components
+    {
+        double wirelength = 0.0;
+        double density = 0.0;
+        double freq = 0.0;
+        double total = 0.0;
+    };
+
+    /**
+     * Evaluate the penalized objective and its gradient (per instance,
+     * Jacobi-preconditioned by net degree + lambda * charge).
+     */
+    Components evaluate(const std::vector<Vec2> &positions,
+                        std::vector<Vec2> &gradient);
+
+    /**
+     * Initialize lambda and lambda_f from the gradient norms at @p
+     * positions (call once before the loop).
+     */
+    void initPenalties(const std::vector<Vec2> &positions);
+
+    /** Grow both penalty multipliers one schedule step. */
+    void growPenalties();
+
+    /** Density overflow after the last evaluate(). */
+    double overflow() const { return density_.overflow(); }
+
+    /** Anneal the wirelength smoothing with the current overflow. */
+    void updateGamma(double overflow);
+
+    /** Exact HPWL for reporting. */
+    double hpwl(const std::vector<Vec2> &positions) const;
+
+    double lambda() const { return lambda_; }
+    double freqLambda() const { return freqLambda_; }
+
+  private:
+    const Netlist &netlist_;
+    PlacerParams params_;
+    WirelengthModel wirelength_;
+    DensityModel density_;
+    std::unique_ptr<FreqForceModel> freqForce_;
+    std::vector<double> netDegree_;
+    double gammaBase_;
+    double lambda_ = 0.0;
+    double freqLambda_ = 0.0;
+    bool freqLambdaLive_ = false; ///< Set once the force first activates.
+    double freqLambdaInit_ = 0.0;
+    double wlGradNorm_ = 0.0;     ///< Reference norm for lazy freq init.
+    std::vector<Vec2> gradWl_;
+    std::vector<Vec2> gradDen_;
+    std::vector<Vec2> gradFreq_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CORE_OBJECTIVE_HPP

@@ -1,0 +1,93 @@
+#include "core/placer.hpp"
+
+#include <vector>
+
+#include "core/nesterov.hpp"
+#include "core/objective.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace qplacer {
+
+GlobalPlacer::GlobalPlacer(PlacerParams params)
+    : params_(params)
+{
+}
+
+PlaceResult
+GlobalPlacer::place(Netlist &netlist) const
+{
+    Timer timer;
+    PlaceResult result;
+
+    const auto &instances = netlist.instances();
+    const std::size_t n = instances.size();
+    if (n == 0)
+        fatal("GlobalPlacer: empty netlist");
+
+    // Initial positions: the builder's warm start plus a small jitter to
+    // break exact symmetries (stacked segments).
+    Rng rng(params_.seed);
+    std::vector<Vec2> positions(n);
+    const double jitter =
+        params_.jitterFrac * netlist.region().width();
+    for (std::size_t i = 0; i < n; ++i) {
+        positions[i] = instances[i].pos +
+                       Vec2(rng.gaussian(0.0, jitter),
+                            rng.gaussian(0.0, jitter));
+    }
+
+    std::vector<Vec2> half_sizes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        half_sizes[i] = Vec2(instances[i].paddedWidth() / 2.0,
+                             instances[i].paddedHeight() / 2.0);
+    }
+
+    PlacementObjective objective(netlist, params_);
+    NesterovOptimizer optimizer(netlist.region(), half_sizes);
+    optimizer.reset(positions);
+    objective.initPenalties(optimizer.lookahead());
+
+    std::vector<Vec2> gradient;
+    double overflow = 1.0;
+    double best_overflow = 1.0;
+    int since_improvement = 0;
+    int iter = 0;
+    for (; iter < params_.maxIters; ++iter) {
+        objective.updateGamma(overflow);
+        objective.evaluate(optimizer.lookahead(), gradient);
+        overflow = objective.overflow();
+
+        if (iter >= params_.minIters && overflow < params_.stopOverflow) {
+            result.converged = true;
+            break;
+        }
+        // Plateau detection: the penalty equilibrium has been reached
+        // and further iterations only churn the layout.
+        if (overflow < best_overflow - 1e-3) {
+            best_overflow = overflow;
+            since_improvement = 0;
+        } else if (++since_improvement >= params_.patience &&
+                   iter >= params_.minIters) {
+            break;
+        }
+        optimizer.step(gradient);
+        objective.growPenalties();
+    }
+
+    const auto &solution = optimizer.solution();
+    for (std::size_t i = 0; i < n; ++i)
+        netlist.instance(static_cast<int>(i)).pos = solution[i];
+    netlist.clampIntoRegion();
+
+    result.iterations = iter;
+    result.finalOverflow = overflow;
+    result.finalHpwl = objective.hpwl(solution);
+    result.seconds = timer.seconds();
+    debug(str("global place: ", result.iterations, " iters, overflow ",
+              result.finalOverflow, ", HPWL ", result.finalHpwl));
+    return result;
+}
+
+} // namespace qplacer

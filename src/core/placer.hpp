@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Global placement driver (Fig. 7c): runs the frequency-aware
+ * electrostatic engine over a netlist until the density overflow target
+ * is met, writing optimized positions back into the netlist.
+ */
+
+#ifndef QPLACER_CORE_PLACER_HPP
+#define QPLACER_CORE_PLACER_HPP
+
+#include "core/params.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Outcome of a global placement run. */
+struct PlaceResult
+{
+    int iterations = 0;
+    double finalOverflow = 1.0;
+    double finalHpwl = 0.0;
+    double seconds = 0.0;
+    bool converged = false;
+};
+
+/** The frequency-aware electrostatic global placer. */
+class GlobalPlacer
+{
+  public:
+    explicit GlobalPlacer(PlacerParams params = {});
+
+    /**
+     * Place @p netlist in-place: instance positions are updated to the
+     * optimized (pre-legalization) solution.
+     */
+    PlaceResult place(Netlist &netlist) const;
+
+    const PlacerParams &params() const { return params_; }
+
+  private:
+    PlacerParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CORE_PLACER_HPP

@@ -1,0 +1,133 @@
+#include "core/poisson.hpp"
+
+#include <numbers>
+
+#include "math/dct.hpp"
+#include "math/fft.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+PoissonSolver::PoissonSolver(int nx, int ny, double width, double height)
+    : nx_(nx), ny_(ny), width_(width), height_(height)
+{
+    if (!Fft::isPowerOfTwo(static_cast<std::size_t>(nx)) ||
+        !Fft::isPowerOfTwo(static_cast<std::size_t>(ny))) {
+        panic(str("PoissonSolver: grid ", nx, "x", ny,
+                  " must be powers of two"));
+    }
+    if (width <= 0.0 || height <= 0.0)
+        panic("PoissonSolver: non-positive physical size");
+
+    wu_.resize(nx);
+    wv_.resize(ny);
+    for (int u = 0; u < nx; ++u)
+        wu_[u] = std::numbers::pi * u / width;
+    for (int v = 0; v < ny; ++v)
+        wv_[v] = std::numbers::pi * v / height;
+}
+
+template <typename Fn>
+void
+PoissonSolver::transformRows(std::vector<double> &map, Fn &&fn) const
+{
+    std::vector<double> row(nx_);
+    for (int iy = 0; iy < ny_; ++iy) {
+        double *base = map.data() + static_cast<std::size_t>(iy) * nx_;
+        row.assign(base, base + nx_);
+        const std::vector<double> out = fn(row);
+        for (int ix = 0; ix < nx_; ++ix)
+            base[ix] = out[ix];
+    }
+}
+
+template <typename Fn>
+void
+PoissonSolver::transformCols(std::vector<double> &map, Fn &&fn) const
+{
+    std::vector<double> col(ny_);
+    for (int ix = 0; ix < nx_; ++ix) {
+        for (int iy = 0; iy < ny_; ++iy)
+            col[iy] = map[static_cast<std::size_t>(iy) * nx_ + ix];
+        const std::vector<double> out = fn(col);
+        for (int iy = 0; iy < ny_; ++iy)
+            map[static_cast<std::size_t>(iy) * nx_ + ix] = out[iy];
+    }
+}
+
+PoissonSolver::Solution
+PoissonSolver::solve(const std::vector<double> &density) const
+{
+    const std::size_t cells = static_cast<std::size_t>(nx_) * ny_;
+    if (density.size() != cells)
+        panic("PoissonSolver::solve: density map size mismatch");
+
+    // Forward 2-D DCT of the density -> eigenbasis coefficients.
+    std::vector<double> coeff = density;
+    transformRows(coeff, [](const std::vector<double> &v) {
+        return Dct::dct2(v);
+    });
+    transformCols(coeff, [](const std::vector<double> &v) {
+        return Dct::dct2(v);
+    });
+    const double norm = 1.0 / (static_cast<double>(nx_) * ny_);
+    for (double &c : coeff)
+        c *= norm;
+
+    // Divide by the Laplacian eigenvalues; drop the DC term.
+    std::vector<double> psi_coeff(cells, 0.0);
+    for (int v = 0; v < ny_; ++v) {
+        for (int u = 0; u < nx_; ++u) {
+            if (u == 0 && v == 0)
+                continue;
+            const double w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+            psi_coeff[static_cast<std::size_t>(v) * nx_ + u] =
+                coeff[static_cast<std::size_t>(v) * nx_ + u] / w2;
+        }
+    }
+
+    Solution sol;
+
+    // Potential psi.
+    sol.potential = psi_coeff;
+    transformRows(sol.potential, [](const std::vector<double> &v) {
+        return Dct::cosSeries(v);
+    });
+    transformCols(sol.potential, [](const std::vector<double> &v) {
+        return Dct::cosSeries(v);
+    });
+
+    // Field xi_x: sine series in x of (w_u * psi_coeff).
+    sol.fieldX.assign(cells, 0.0);
+    for (int v = 0; v < ny_; ++v) {
+        for (int u = 0; u < nx_; ++u) {
+            sol.fieldX[static_cast<std::size_t>(v) * nx_ + u] =
+                wu_[u] * psi_coeff[static_cast<std::size_t>(v) * nx_ + u];
+        }
+    }
+    transformRows(sol.fieldX, [](const std::vector<double> &v) {
+        return Dct::sinSeries(v);
+    });
+    transformCols(sol.fieldX, [](const std::vector<double> &v) {
+        return Dct::cosSeries(v);
+    });
+
+    // Field xi_y: sine series in y of (w_v * psi_coeff).
+    sol.fieldY.assign(cells, 0.0);
+    for (int v = 0; v < ny_; ++v) {
+        for (int u = 0; u < nx_; ++u) {
+            sol.fieldY[static_cast<std::size_t>(v) * nx_ + u] =
+                wv_[v] * psi_coeff[static_cast<std::size_t>(v) * nx_ + u];
+        }
+    }
+    transformRows(sol.fieldY, [](const std::vector<double> &v) {
+        return Dct::cosSeries(v);
+    });
+    transformCols(sol.fieldY, [](const std::vector<double> &v) {
+        return Dct::sinSeries(v);
+    });
+
+    return sol;
+}
+
+} // namespace qplacer

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Spectral Poisson solver on a rectangular grid with Neumann boundary
+ * conditions (the electrostatics of ePlace, Eq. under Sec. IV-C1).
+ *
+ * Given a charge density map rho, solves
+ *     laplacian(psi) = -rho
+ * by expanding rho in the cosine eigenbasis cos(w_u x) cos(w_v y),
+ * dividing by (w_u^2 + w_v^2), and evaluating the potential psi and the
+ * field xi = -grad(psi) via the DCT/DST kernels in math/dct.
+ */
+
+#ifndef QPLACER_CORE_POISSON_HPP
+#define QPLACER_CORE_POISSON_HPP
+
+#include <vector>
+
+namespace qplacer {
+
+/** Solves the screened-free Poisson problem on an nx x ny grid. */
+class PoissonSolver
+{
+  public:
+    /**
+     * @param nx, ny    Grid dimensions (powers of two).
+     * @param width     Physical region width (um).
+     * @param height    Physical region height (um).
+     */
+    PoissonSolver(int nx, int ny, double width, double height);
+
+    /** Result maps, row-major (index = iy*nx + ix). */
+    struct Solution
+    {
+        std::vector<double> potential; ///< psi.
+        std::vector<double> fieldX;    ///< xi_x = -d(psi)/dx.
+        std::vector<double> fieldY;    ///< xi_y = -d(psi)/dy.
+    };
+
+    /**
+     * Solve for the given density map (row-major, size nx*ny). The mean
+     * (DC) component is dropped, as standard: only deviations from the
+     * average density generate forces.
+     */
+    Solution solve(const std::vector<double> &density) const;
+
+    int nx() const { return nx_; }
+    int ny() const { return ny_; }
+
+  private:
+    /** Apply a 1-D transform along rows (x) of a row-major map. */
+    template <typename Fn>
+    void transformRows(std::vector<double> &map, Fn &&fn) const;
+
+    /** Apply a 1-D transform along columns (y) of a row-major map. */
+    template <typename Fn>
+    void transformCols(std::vector<double> &map, Fn &&fn) const;
+
+    int nx_;
+    int ny_;
+    double width_;
+    double height_;
+    std::vector<double> wu_; ///< Eigen-frequencies along x.
+    std::vector<double> wv_; ///< Eigen-frequencies along y.
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_CORE_POISSON_HPP

@@ -1,0 +1,68 @@
+#include "core/wirelength.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+WirelengthModel::WirelengthModel(const Netlist &netlist, double gamma)
+    : netlist_(netlist), gamma_(gamma)
+{
+    if (gamma <= 0.0)
+        fatal("WirelengthModel: gamma must be positive");
+}
+
+void
+WirelengthModel::setGamma(double gamma)
+{
+    if (gamma <= 0.0)
+        fatal("WirelengthModel::setGamma: gamma must be positive");
+    gamma_ = gamma;
+}
+
+double
+WirelengthModel::evaluate(const std::vector<Vec2> &positions,
+                          std::vector<Vec2> &gradient) const
+{
+    gradient.assign(positions.size(), Vec2());
+    double total = 0.0;
+
+    // For a 2-pin net the log-sum-exp wirelength reduces to the stable
+    // closed form |d| + 2*gamma*log1p(exp(-|d|/gamma)) per axis, with
+    // gradient tanh(d / (2*gamma)).
+    auto axis = [this](double d, double &value, double &grad) {
+        const double a = std::abs(d);
+        value = a + 2.0 * gamma_ * std::log1p(std::exp(-a / gamma_));
+        grad = std::tanh(d / (2.0 * gamma_));
+    };
+
+    for (const Net &net : netlist_.nets()) {
+        const Vec2 &pa = positions[net.a];
+        const Vec2 &pb = positions[net.b];
+        double vx, gx, vy, gy;
+        axis(pa.x - pb.x, vx, gx);
+        axis(pa.y - pb.y, vy, gy);
+        total += net.weight * (vx + vy);
+        gradient[net.a].x += net.weight * gx;
+        gradient[net.a].y += net.weight * gy;
+        gradient[net.b].x -= net.weight * gx;
+        gradient[net.b].y -= net.weight * gy;
+    }
+    return total;
+}
+
+double
+WirelengthModel::hpwl(const std::vector<Vec2> &positions) const
+{
+    double total = 0.0;
+    for (const Net &net : netlist_.nets()) {
+        const Vec2 &pa = positions[net.a];
+        const Vec2 &pb = positions[net.b];
+        total += net.weight *
+                 (std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y));
+    }
+    return total;
+}
+
+} // namespace qplacer

@@ -1,0 +1,26 @@
+#include "eval/area.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+AreaMetrics
+computeArea(const Netlist &netlist)
+{
+    if (netlist.numInstances() == 0)
+        fatal("computeArea: empty netlist");
+
+    AreaMetrics out;
+    std::vector<Rect> rects;
+    rects.reserve(netlist.instances().size());
+    for (const Instance &inst : netlist.instances()) {
+        rects.push_back(inst.paddedRect());
+        out.apolyUm2 += inst.paddedArea();
+    }
+    out.enclosingRect = boundingBox(rects);
+    out.amerUm2 = out.enclosingRect.area();
+    out.utilization = out.amerUm2 > 0.0 ? out.apolyUm2 / out.amerUm2 : 0.0;
+    return out;
+}
+
+} // namespace qplacer

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Area metrics (Eq. 17): minimum enclosing rectangle A_mer, total
+ * instance area A_poly, and the substrate utilization ratio.
+ */
+
+#ifndef QPLACER_EVAL_AREA_HPP
+#define QPLACER_EVAL_AREA_HPP
+
+#include "geometry/rect.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Area summary of a placed netlist. */
+struct AreaMetrics
+{
+    Rect enclosingRect;      ///< The minimum enclosing rectangle.
+    double amerUm2 = 0.0;    ///< Area of the enclosing rectangle.
+    double apolyUm2 = 0.0;   ///< Sum of padded instance areas.
+    double utilization = 0.0; ///< apoly / amer (Eq. 17).
+};
+
+/** Compute area metrics over the padded footprints of @p netlist. */
+AreaMetrics computeArea(const Netlist &netlist);
+
+} // namespace qplacer
+
+#endif // QPLACER_EVAL_AREA_HPP

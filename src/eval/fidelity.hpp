@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Program fidelity model (Eq. 15):
+ *   F = prod_q (1 - eps_q) * prod_g (1 - eps_g) * prod_r (1 - eps_r)
+ * over the *active* qubits and resonators of a mapped benchmark.
+ *
+ * eps_q: intrinsic gate error + T1/T2 decoherence over the program.
+ * eps_g: Rabi-exchange crosstalk for qubit pairs in spatial violation.
+ * eps_r: ditto for resonator (segment) pairs in spatial violation.
+ */
+
+#ifndef QPLACER_EVAL_FIDELITY_HPP
+#define QPLACER_EVAL_FIDELITY_HPP
+
+#include <vector>
+
+#include "circuits/scheduler.hpp"
+#include "eval/hotspot.hpp"
+#include "netlist/netlist.hpp"
+#include "physics/capacitance.hpp"
+#include "physics/constants.hpp"
+#include "physics/decoherence.hpp"
+
+namespace qplacer {
+
+/** Error-model parameters. */
+struct FidelityParams
+{
+    double gate1qError = kGate1qError;
+    double gate2qError = kGate2qError;
+    DecoherenceModel decoherence{};
+    CapacitanceModel qubitCp = CapacitanceModel::qubitQubit();
+    CapacitanceModel resonatorCp = CapacitanceModel::resonatorResonator();
+
+    /** Cap on any single crosstalk error term (keeps F > 0). */
+    double crosstalkCap = 0.99;
+};
+
+/** Per-term breakdown of one fidelity evaluation. */
+struct FidelityBreakdown
+{
+    double gateFidelity = 1.0;       ///< prod (1 - eps_q gates).
+    double decoherenceFidelity = 1.0;///< prod (1 - eps_q decoherence).
+    double qubitCrosstalk = 1.0;     ///< prod (1 - eps_g).
+    double resonatorCrosstalk = 1.0; ///< prod (1 - eps_r).
+    double total = 1.0;
+
+    int violatedQubitPairs = 0;
+    int violatedResonatorPairs = 0;
+};
+
+/** Evaluates Eq. 15 for mapped circuits on a placed layout. */
+class FidelityModel
+{
+  public:
+    explicit FidelityModel(FidelityParams params = {});
+
+    /**
+     * Fidelity of @p mapped (with @p schedule timing) on the layout
+     * whose hotspots are @p hotspots.
+     * @param netlist The placed netlist (positions + frequencies).
+     */
+    FidelityBreakdown evaluate(const Netlist &netlist,
+                               const HotspotReport &hotspots,
+                               const MappedCircuit &mapped,
+                               const Schedule &schedule) const;
+
+    const FidelityParams &params() const { return params_; }
+
+  private:
+    FidelityParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_EVAL_FIDELITY_HPP

@@ -1,0 +1,182 @@
+#include "freq/assigner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+FrequencyAssigner::FrequencyAssigner(AssignerParams params)
+    : params_(params)
+{
+}
+
+std::vector<int>
+FrequencyAssigner::dsatur(const Graph &graph)
+{
+    const int n = graph.numNodes();
+    std::vector<int> color(n, -1);
+    std::vector<std::set<int>> neighbor_colors(n);
+
+    for (int step = 0; step < n; ++step) {
+        // Pick the uncoloured node with maximum saturation, breaking
+        // ties by degree then by index (deterministic).
+        int best = -1;
+        for (int v = 0; v < n; ++v) {
+            if (color[v] >= 0)
+                continue;
+            if (best < 0)
+                best = v;
+            const auto sat_v = neighbor_colors[v].size();
+            const auto sat_b = neighbor_colors[best].size();
+            if (sat_v > sat_b ||
+                (sat_v == sat_b && graph.degree(v) > graph.degree(best))) {
+                best = v;
+            }
+        }
+        // Smallest colour not used by neighbours.
+        int c = 0;
+        while (neighbor_colors[best].count(c))
+            ++c;
+        color[best] = c;
+        for (int u : graph.neighbors(best))
+            neighbor_colors[u].insert(c);
+    }
+    return color;
+}
+
+std::vector<double>
+FrequencyAssigner::colorsToFrequencies(const std::vector<int> &colors,
+                                       const Graph &hard_edges,
+                                       const FrequencyBand &band,
+                                       int *slots_used) const
+{
+    int num_colors = 0;
+    for (int c : colors)
+        num_colors = std::max(num_colors, c + 1);
+
+    const int capacity = band.maxSlots(params_.detuningThresholdHz);
+    const int used = std::min(std::max(num_colors, 1), capacity);
+    const std::vector<double> slot_freqs = band.slots(used);
+    if (slots_used)
+        *slots_used = used;
+
+    std::vector<double> freqs(colors.size());
+    if (num_colors <= capacity) {
+        // Plenty of room: one slot per colour; full distance-2
+        // separation in the frequency domain.
+        for (std::size_t i = 0; i < colors.size(); ++i)
+            freqs[i] = slot_freqs[colors[i]];
+        return freqs;
+    }
+
+    // Frequency crowding: guarantee the *hard* constraint (no coupled
+    // pair resonant) by colouring the hard graph and partitioning the
+    // slots between those classes; the fine-grained interference
+    // colours then spread instances over their class's slots. Strict
+    // slot spacing (exactly Delta_c) keeps different classes detuned.
+    warn(str("frequency assigner: ", num_colors, " colours exceed the ",
+             capacity, " available slots; partitioning slots between "
+                       "hard colour classes"));
+    const std::vector<int> hard = dsatur(hard_edges);
+    int num_hard = 0;
+    for (int c : hard)
+        num_hard = std::max(num_hard, c + 1);
+    if (num_hard > used) {
+        warn("frequency assigner: hard chromatic number exceeds slot "
+             "capacity; coupled-pair resonances are unavoidable");
+    }
+    std::vector<std::vector<int>> class_slots(std::max(num_hard, 1));
+    for (int s = 0; s < used; ++s)
+        class_slots[s % std::max(num_hard, 1)].push_back(s);
+
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+        const auto &mine = class_slots[hard[i] % class_slots.size()];
+        const int pick = mine.empty()
+                             ? colors[i] % used
+                             : mine[colors[i] % mine.size()];
+        freqs[i] = slot_freqs[pick];
+    }
+    return freqs;
+}
+
+FrequencyAssignment
+FrequencyAssigner::assign(const Topology &topo) const
+{
+    FrequencyAssignment out;
+    const Graph &coupling = topo.coupling;
+    const int nq = coupling.numNodes();
+
+    // Qubit interference graph: coupled pairs plus (optionally)
+    // distance-2 pairs.
+    Graph interference(nq);
+    for (const auto &[u, v] : coupling.edges())
+        interference.addEdge(u, v);
+    if (params_.distance2) {
+        for (int u = 0; u < nq; ++u) {
+            for (int v : coupling.ballAround(u, 2)) {
+                if (v > u && !interference.hasEdge(u, v))
+                    interference.addEdge(u, v);
+            }
+        }
+    }
+
+    out.qubitColor = dsatur(interference);
+    out.qubitFreqHz =
+        colorsToFrequencies(out.qubitColor, coupling, params_.qubitBand,
+                            &out.numQubitSlots);
+
+    // Resonator interference graph: resonators sharing a qubit must be
+    // mutually detuned (they hang off the same pad).
+    const int nr = coupling.numEdges();
+    Graph res_graph(nr);
+    for (int a = 0; a < nr; ++a) {
+        const auto &[a1, a2] = coupling.edges()[a];
+        for (int b = a + 1; b < nr; ++b) {
+            const auto &[b1, b2] = coupling.edges()[b];
+            const bool share =
+                a1 == b1 || a1 == b2 || a2 == b1 || a2 == b2;
+            if (share)
+                res_graph.addEdge(a, b);
+        }
+    }
+    out.resonatorColor = dsatur(res_graph);
+    out.resonatorFreqHz =
+        colorsToFrequencies(out.resonatorColor, res_graph,
+                            params_.resonatorBand,
+                            &out.numResonatorSlots);
+
+    return out;
+}
+
+int
+FrequencyAssigner::countDomainViolations(
+    const Topology &topo, const FrequencyAssignment &assignment) const
+{
+    int violations = 0;
+    for (const auto &[u, v] : topo.coupling.edges()) {
+        if (isResonant(assignment.qubitFreqHz[u], assignment.qubitFreqHz[v],
+                       params_.detuningThresholdHz)) {
+            ++violations;
+        }
+    }
+    const auto &edges = topo.coupling.edges();
+    for (std::size_t a = 0; a < edges.size(); ++a) {
+        for (std::size_t b = a + 1; b < edges.size(); ++b) {
+            const bool share = edges[a].first == edges[b].first ||
+                               edges[a].first == edges[b].second ||
+                               edges[a].second == edges[b].first ||
+                               edges[a].second == edges[b].second;
+            if (share &&
+                isResonant(assignment.resonatorFreqHz[a],
+                           assignment.resonatorFreqHz[b],
+                           params_.detuningThresholdHz)) {
+                ++violations;
+            }
+        }
+    }
+    return violations;
+}
+
+} // namespace qplacer

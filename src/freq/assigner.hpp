@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Frequency assigner (Fig. 7a): allocates frequencies to qubits and
+ * coupling resonators so that all *interconnected* components are
+ * detuned by more than the threshold.
+ *
+ * Interference graph: coupled qubit pairs, optionally augmented with
+ * distance-2 pairs (spectator collisions), coloured with DSATUR. Colours
+ * map to slot frequencies; when the device needs more colours than the
+ * band has slots, slots are reused round-robin -- the resulting same-
+ * frequency components are graph-distant and become the placement
+ * engine's spatial-isolation workload.
+ */
+
+#ifndef QPLACER_FREQ_ASSIGNER_HPP
+#define QPLACER_FREQ_ASSIGNER_HPP
+
+#include <vector>
+
+#include "freq/spectrum.hpp"
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/** Frequencies chosen for one device. */
+struct FrequencyAssignment
+{
+    /** Frequency per qubit (Hz), indexed by topology qubit id. */
+    std::vector<double> qubitFreqHz;
+
+    /** Frequency per coupler/resonator (Hz), indexed by edge id. */
+    std::vector<double> resonatorFreqHz;
+
+    /** Colour per qubit (diagnostic). */
+    std::vector<int> qubitColor;
+
+    /** Colour per resonator (diagnostic). */
+    std::vector<int> resonatorColor;
+
+    /** Number of distinct qubit frequencies used. */
+    int numQubitSlots = 0;
+
+    /** Number of distinct resonator frequencies used. */
+    int numResonatorSlots = 0;
+};
+
+/** Parameters of the frequency assigner. */
+struct AssignerParams
+{
+    FrequencyBand qubitBand = FrequencyBand::qubitBand();
+    FrequencyBand resonatorBand = FrequencyBand::resonatorBand();
+    double detuningThresholdHz = kDetuningThresholdHz;
+
+    /** Also separate distance-2 qubit pairs in frequency when possible. */
+    bool distance2 = true;
+};
+
+/** Graph-colouring frequency assigner. */
+class FrequencyAssigner
+{
+  public:
+    explicit FrequencyAssigner(AssignerParams params = {});
+
+    /** Assign frequencies for @p topo. */
+    FrequencyAssignment assign(const Topology &topo) const;
+
+    /**
+     * DSATUR greedy colouring of @p graph; returns colour per node.
+     * Exposed for testing.
+     */
+    static std::vector<int> dsatur(const Graph &graph);
+
+    /**
+     * Verify that no *coupled* pair of qubits (and no two resonators
+     * sharing a qubit) is resonant under @p assignment. Returns the
+     * number of violations.
+     */
+    int countDomainViolations(const Topology &topo,
+                              const FrequencyAssignment &assignment) const;
+
+  private:
+    /**
+     * Map colours to slot frequencies. When the colour count exceeds
+     * the band's slot capacity, slots are reused -- but never between
+     * colour classes joined by a *hard* edge (direct couplings), so the
+     * frequency-domain isolation of connected components survives
+     * crowding.
+     */
+    std::vector<double>
+    colorsToFrequencies(const std::vector<int> &colors,
+                        const Graph &hard_edges,
+                        const FrequencyBand &band, int *slots_used) const;
+
+    AssignerParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_FREQ_ASSIGNER_HPP

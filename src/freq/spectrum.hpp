@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Frequency bands and slot quantization (Section IV-A inputs).
+ *
+ * The available spectrum is narrow (qubits: 4.8-5.2 GHz), so only a
+ * handful of mutually-detuned slots exist; devices with more qubits than
+ * slots inevitably reuse frequencies ("frequency crowding", Sec. III-B),
+ * and those same-slot components are what the placement engine must
+ * separate spatially.
+ */
+
+#ifndef QPLACER_FREQ_SPECTRUM_HPP
+#define QPLACER_FREQ_SPECTRUM_HPP
+
+#include <vector>
+
+#include "physics/constants.hpp"
+
+namespace qplacer {
+
+/** A contiguous frequency band [loHz, hiHz]. */
+struct FrequencyBand
+{
+    double loHz = 0.0;
+    double hiHz = 0.0;
+
+    FrequencyBand() = default;
+    FrequencyBand(double lo, double hi);
+
+    /** Band width in Hz. */
+    double span() const { return hiHz - loHz; }
+
+    /** True if @p f lies within the band (inclusive). */
+    bool contains(double f) const { return f >= loHz && f <= hiHz; }
+
+    /**
+     * Maximum number of slots that fit with pairwise spacing >= @p
+     * min_spacing (slots at both band edges included).
+     */
+    int maxSlots(double min_spacing) const;
+
+    /**
+     * @p count slot frequencies spread evenly across the band
+     * (single slot sits at band center).
+     */
+    std::vector<double> slots(int count) const;
+
+    /** The paper's qubit band, 4.8-5.2 GHz. */
+    static FrequencyBand qubitBand();
+
+    /** The paper's resonator band, 6.0-7.0 GHz. */
+    static FrequencyBand resonatorBand();
+};
+
+/**
+ * The resonance indicator tau of Eq. (9): true when two frequencies are
+ * within the detuning threshold of each other. Strict comparison so that
+ * slots spaced exactly at the threshold count as detuned.
+ */
+bool isResonant(double f1_hz, double f2_hz,
+                double threshold_hz = kDetuningThresholdHz);
+
+} // namespace qplacer
+
+#endif // QPLACER_FREQ_SPECTRUM_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 2-D vector type. All layout coordinates in the library are in
+ * micrometers (um) stored as doubles.
+ */
+
+#ifndef QPLACER_GEOMETRY_VEC2_HPP
+#define QPLACER_GEOMETRY_VEC2_HPP
+
+#include <cmath>
+
+namespace qplacer {
+
+/** Plain 2-D vector/point in micrometers. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2() = default;
+    Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    Vec2 operator/(double s) const { return {x / s, y / s}; }
+
+    Vec2 &
+    operator+=(const Vec2 &o)
+    {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+
+    Vec2 &
+    operator-=(const Vec2 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+
+    bool operator==(const Vec2 &o) const { return x == o.x && y == o.y; }
+
+    /** Euclidean norm. */
+    double norm() const { return std::hypot(x, y); }
+
+    /** Squared norm (avoids the sqrt in hot loops). */
+    double normSq() const { return x * x + y * y; }
+
+    /** Dot product. */
+    double dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+
+    /** Euclidean distance to @p o. */
+    double dist(const Vec2 &o) const { return (*this - o).norm(); }
+
+    /** Manhattan distance to @p o. */
+    double
+    manhattan(const Vec2 &o) const
+    {
+        return std::abs(x - o.x) + std::abs(y - o.y);
+    }
+};
+
+inline Vec2
+operator*(double s, const Vec2 &v)
+{
+    return v * s;
+}
+
+} // namespace qplacer
+
+#endif // QPLACER_GEOMETRY_VEC2_HPP

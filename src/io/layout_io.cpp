@@ -1,0 +1,67 @@
+#include "io/layout_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+void
+saveLayout(const Netlist &netlist, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("saveLayout: cannot open '" + path + "'");
+    const Rect &r = netlist.region();
+    out << "region " << r.lo.x << " " << r.lo.y << " " << r.hi.x << " "
+        << r.hi.y << "\n";
+    out << "instances " << netlist.numInstances() << "\n";
+    out.precision(12);
+    for (const Instance &inst : netlist.instances()) {
+        out << inst.id << " "
+            << (inst.kind == InstanceKind::Qubit ? "q" : "s") << " "
+            << inst.pos.x << " " << inst.pos.y << " " << inst.freqHz
+            << "\n";
+    }
+}
+
+void
+loadLayout(Netlist &netlist, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("loadLayout: cannot open '" + path + "'");
+
+    std::string tag;
+    Rect region;
+    if (!(in >> tag >> region.lo.x >> region.lo.y >> region.hi.x >>
+          region.hi.y) ||
+        tag != "region") {
+        fatal("loadLayout: malformed region header");
+    }
+    int count = 0;
+    if (!(in >> tag >> count) || tag != "instances")
+        fatal("loadLayout: malformed instance header");
+    if (count != netlist.numInstances())
+        fatal(str("loadLayout: file has ", count, " instances, netlist ",
+                  netlist.numInstances()));
+
+    netlist.setRegion(region);
+    for (int i = 0; i < count; ++i) {
+        int id;
+        std::string kind;
+        double x, y, freq;
+        if (!(in >> id >> kind >> x >> y >> freq))
+            fatal(str("loadLayout: truncated at instance ", i));
+        if (id != i)
+            fatal("loadLayout: instance ids out of order");
+        Instance &inst = netlist.instance(id);
+        const bool is_qubit = kind == "q";
+        if (is_qubit != (inst.kind == InstanceKind::Qubit))
+            fatal(str("loadLayout: kind mismatch at instance ", i));
+        inst.pos = Vec2(x, y);
+    }
+}
+
+} // namespace qplacer

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Plain-text layout serialization: save/restore instance positions so
+ * expensive placements can be cached and diffed.
+ */
+
+#ifndef QPLACER_IO_LAYOUT_IO_HPP
+#define QPLACER_IO_LAYOUT_IO_HPP
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/**
+ * Write "id kind x y freq" lines (one per instance) plus a region
+ * header.
+ */
+void saveLayout(const Netlist &netlist, const std::string &path);
+
+/**
+ * Load positions from @p path into @p netlist. The netlist must have
+ * been built identically (same instance count/order); fatal() otherwise.
+ */
+void loadLayout(Netlist &netlist, const std::string &path);
+
+} // namespace qplacer
+
+#endif // QPLACER_IO_LAYOUT_IO_HPP

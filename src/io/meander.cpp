@@ -1,0 +1,59 @@
+#include "io/meander.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+double
+pathLength(const std::vector<Vec2> &points)
+{
+    double acc = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        acc += points[i].dist(points[i - 1]);
+    return acc;
+}
+
+MeanderPath
+routeMeander(const Netlist &netlist, int resonator_id, double pitch_um)
+{
+    if (pitch_um <= 0.0)
+        fatal("routeMeander: non-positive pitch");
+    const Resonator &res = netlist.resonator(resonator_id);
+
+    MeanderPath path;
+    path.targetUm = res.lengthUm;
+    path.points.push_back(netlist.instance(res.qubitA).pos);
+
+    for (int seg_id : res.segments) {
+        const Instance &seg = netlist.instance(seg_id);
+        const Rect block = seg.rect();
+
+        // Serpentine: horizontal passes bottom-to-top at d_r pitch.
+        // Enter on the side closest to the previous point so the
+        // jumper stays short.
+        const int passes = std::max(
+            1, static_cast<int>(std::floor(block.height() / pitch_um)));
+        const double dy =
+            passes > 1 ? block.height() / (passes - 1 + 1) : 0.0;
+        const bool enter_left =
+            path.points.back().x <= block.center().x;
+
+        for (int p = 0; p < passes; ++p) {
+            const double y = block.lo.y + pitch_um / 2.0 + p * dy;
+            const bool left_first = enter_left == (p % 2 == 0);
+            const Vec2 a(left_first ? block.lo.x : block.hi.x, y);
+            const Vec2 b(left_first ? block.hi.x : block.lo.x, y);
+            path.points.push_back(a);
+            path.points.push_back(b);
+        }
+    }
+
+    path.points.push_back(netlist.instance(res.qubitB).pos);
+    path.lengthUm = pathLength(path.points);
+    return path;
+}
+
+} // namespace qplacer

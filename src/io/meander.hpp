@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Physical meander routing (Fig. 8-e): after legalization, the actual
+ * resonator wire is re-routed through its reserved segment blocks as a
+ * serpentine at d_r pitch. Each l_b x l_b block holds
+ * l_b^2 / wire_width of wire length, so the block count from the
+ * partitioning step guarantees the full half-wave length fits.
+ */
+
+#ifndef QPLACER_IO_MEANDER_HPP
+#define QPLACER_IO_MEANDER_HPP
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** A routed resonator wire. */
+struct MeanderPath
+{
+    std::vector<Vec2> points; ///< Polyline vertices (um).
+    double lengthUm = 0.0;    ///< Total polyline length.
+    double targetUm = 0.0;    ///< The resonator's required wire length.
+
+    /**
+     * Routing succeeded: the serpentine provides at least the target
+     * length (the wire is then trimmed/tuned within the last block).
+     */
+    bool fits() const { return lengthUm >= targetUm; }
+};
+
+/**
+ * Route resonator @p resonator_id of @p netlist: serpentine passes at
+ * @p pitch_um inside each segment block (in chain order), joined by
+ * straight jumpers, ending at the two endpoint qubits.
+ */
+MeanderPath routeMeander(const Netlist &netlist, int resonator_id,
+                         double pitch_um = 100.0);
+
+/** Polyline length helper. */
+double pathLength(const std::vector<Vec2> &points);
+
+} // namespace qplacer
+
+#endif // QPLACER_IO_MEANDER_HPP

@@ -1,0 +1,117 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+/** Map a frequency to a stable colour (hue from position in band). */
+std::string
+freqColor(double freq_hz, double lo_hz, double hi_hz)
+{
+    const double t =
+        std::clamp((freq_hz - lo_hz) / std::max(hi_hz - lo_hz, 1.0), 0.0,
+                   1.0);
+    const int hue = static_cast<int>(t * 300.0); // red .. magenta
+    std::ostringstream oss;
+    oss << "hsl(" << hue << ",70%,55%)";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+layoutSvg(const Netlist &netlist, SvgOptions options)
+{
+    const Rect &region = netlist.region();
+    const double s = options.scale;
+    const double w = region.width() * s;
+    const double h = region.height() * s;
+
+    // Frequency extremes per kind, for colour scaling.
+    double qlo = 1e18, qhi = 0, rlo = 1e18, rhi = 0;
+    for (const Instance &inst : netlist.instances()) {
+        if (inst.kind == InstanceKind::Qubit) {
+            qlo = std::min(qlo, inst.freqHz);
+            qhi = std::max(qhi, inst.freqHz);
+        } else {
+            rlo = std::min(rlo, inst.freqHz);
+            rhi = std::max(rhi, inst.freqHz);
+        }
+    }
+
+    auto px = [&](double x) { return (x - region.lo.x) * s; };
+    auto py = [&](double y) { return h - (y - region.lo.y) * s; };
+
+    std::ostringstream svg;
+    svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << w
+        << "' height='" << h << "' viewBox='0 0 " << w << " " << h
+        << "'>\n";
+    svg << "<rect x='0' y='0' width='" << w << "' height='" << h
+        << "' fill='#fafafa' stroke='#333'/>\n";
+
+    for (const Instance &inst : netlist.instances()) {
+        const Rect r = inst.rect();
+        const bool qubit = inst.kind == InstanceKind::Qubit;
+        const std::string color =
+            qubit ? freqColor(inst.freqHz, qlo, qhi)
+                  : freqColor(inst.freqHz, rlo, rhi);
+        if (options.drawPadding) {
+            const Rect p = inst.paddedRect();
+            svg << "<rect x='" << px(p.lo.x) << "' y='" << py(p.hi.y)
+                << "' width='" << p.width() * s << "' height='"
+                << p.height() * s
+                << "' fill='none' stroke='#bbb' stroke-dasharray='2,2'/>"
+                << "\n";
+        }
+        svg << "<rect x='" << px(r.lo.x) << "' y='" << py(r.hi.y)
+            << "' width='" << r.width() * s << "' height='"
+            << r.height() * s << "' fill='" << color << "' fill-opacity='"
+            << (qubit ? 0.9 : 0.55) << "' stroke='#333' stroke-width='"
+            << (qubit ? 1.0 : 0.5) << "'/>\n";
+        if (qubit && options.drawLabels) {
+            svg << "<text x='" << px(inst.pos.x) << "' y='"
+                << py(inst.pos.y) << "' font-size='"
+                << inst.width * s * 0.5
+                << "' text-anchor='middle' dominant-baseline='middle'>"
+                << inst.qubit << "</text>\n";
+        }
+    }
+
+    if (options.drawMeander) {
+        for (const Resonator &res : netlist.resonators()) {
+            svg << "<polyline fill='none' stroke='#222' "
+                   "stroke-width='1' points='";
+            const Vec2 a = netlist.instance(res.qubitA).pos;
+            svg << px(a.x) << "," << py(a.y) << " ";
+            for (int seg : res.segments) {
+                const Vec2 p = netlist.instance(seg).pos;
+                svg << px(p.x) << "," << py(p.y) << " ";
+            }
+            const Vec2 b = netlist.instance(res.qubitB).pos;
+            svg << px(b.x) << "," << py(b.y);
+            svg << "'/>\n";
+        }
+    }
+
+    svg << "</svg>\n";
+    return svg.str();
+}
+
+void
+writeLayoutSvg(const Netlist &netlist, const std::string &path,
+               SvgOptions options)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeLayoutSvg: cannot open '" + path + "'");
+    out << layoutSvg(netlist, options);
+}
+
+} // namespace qplacer

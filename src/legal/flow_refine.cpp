@@ -1,0 +1,58 @@
+#include "legal/flow_refine.hpp"
+
+#include <cmath>
+
+#include "math/min_cost_flow.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+std::vector<int>
+refineAssignment(const std::vector<Vec2> &desired,
+                 const std::vector<Vec2> &sites)
+{
+    const int n = static_cast<int>(desired.size());
+    if (static_cast<int>(sites.size()) != n)
+        panic("refineAssignment: item/site count mismatch");
+    if (n == 0)
+        return {};
+
+    // Nodes: source, items, sites, sink.
+    const int source = 0;
+    const int sink = 2 * n + 1;
+    MinCostFlow flow(2 * n + 2);
+
+    std::vector<std::vector<int>> edge_id(
+        n, std::vector<int>(n, -1));
+    for (int i = 0; i < n; ++i)
+        flow.addEdge(source, 1 + i, 1, 0);
+    for (int i = 0; i < n; ++i) {
+        for (int s = 0; s < n; ++s) {
+            const double cost_um = desired[i].manhattan(sites[s]);
+            edge_id[i][s] = flow.addEdge(
+                1 + i, 1 + n + s, 1,
+                static_cast<std::int64_t>(std::llround(cost_um)));
+        }
+    }
+    for (int s = 0; s < n; ++s)
+        flow.addEdge(1 + n + s, sink, 1, 0);
+
+    const MinCostFlow::Result result = flow.solve(source, sink);
+    if (result.flow != n)
+        panic("refineAssignment: flow did not saturate");
+
+    std::vector<int> assignment(n, -1);
+    for (int i = 0; i < n; ++i) {
+        for (int s = 0; s < n; ++s) {
+            if (flow.flowOn(edge_id[i][s]) > 0) {
+                assignment[i] = s;
+                break;
+            }
+        }
+        if (assignment[i] < 0)
+            panic("refineAssignment: unassigned item");
+    }
+    return assignment;
+}
+
+} // namespace qplacer

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Min-cost-flow refinement of the qubit legalization ([88] in the
+ * paper): all legalized qubit sites are pooled and qubits are
+ * re-assigned to sites so the total displacement from their global-
+ * placement positions is minimized. Qubits share one footprint, so any
+ * permutation of sites stays legal.
+ */
+
+#ifndef QPLACER_LEGAL_FLOW_REFINE_HPP
+#define QPLACER_LEGAL_FLOW_REFINE_HPP
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace qplacer {
+
+/**
+ * Optimal assignment of @p desired positions to @p sites (equal sizes)
+ * minimizing total Manhattan displacement.
+ *
+ * @return site index per item.
+ */
+std::vector<int> refineAssignment(const std::vector<Vec2> &desired,
+                                  const std::vector<Vec2> &sites);
+
+} // namespace qplacer
+
+#endif // QPLACER_LEGAL_FLOW_REFINE_HPP

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Integration-aware legalization (Algorithm 1, Section IV-C2).
+ *
+ * After Tetris legalization the segments of a resonator may be
+ * scattered. For each resonator, `rilc` checks that its segments form a
+ * single adjacency-connected cluster; failing resonators grow their
+ * largest cluster by relocating scattered segments into free slots on
+ * the cluster frontier or by swapping them with frontier segments of
+ * other resonators, each candidate validated by the resonance checker
+ * tau (skipped in the frequency-blind Classic mode).
+ */
+
+#ifndef QPLACER_LEGAL_INTEGRATION_HPP
+#define QPLACER_LEGAL_INTEGRATION_HPP
+
+#include <vector>
+
+#include "legal/occupancy.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Knobs of the integration legalizer. */
+struct IntegrationParams
+{
+    /**
+     * Max gap (um) between padded rects that counts as adjacent for
+     * cluster connectivity. Covers one occupancy cell plus diagonal
+     * corner gaps, so snapped layouts cluster robustly.
+     */
+    double adjacencyTolUm = 150.0;
+
+    /**
+     * Probe inflation (um) for the tau resonance check; matches the
+     * hotspot analyzer's adjacency threshold so the legalizer guards
+     * exactly the pairs the metric would flag.
+     */
+    double probeTolUm = 50.0;
+
+    /** Validate moves/swaps against the resonance checker tau. */
+    bool resonanceCheck = true;
+
+    /** Detuning threshold for tau. */
+    double detuningThresholdHz = 0.1e9;
+
+    /** Repair passes over all resonators. */
+    int maxRounds = 8;
+
+    /**
+     * After move/swap rounds, rip up each still-broken resonator and
+     * re-place its whole segment chain contiguously (tau-checked with
+     * plain-nearest fallback).
+     */
+    bool chainReplace = true;
+};
+
+/** Runs Algorithm 1 on a legalized netlist. */
+class IntegrationLegalizer
+{
+  public:
+    explicit IntegrationLegalizer(IntegrationParams params = {});
+
+    /** Outcome summary. */
+    struct Result
+    {
+        int initiallyBroken = 0;  ///< Resonators failing rilc on entry.
+        int repaired = 0;         ///< Fixed by moves/swaps.
+        int unintegrated = 0;     ///< Still failing at exit.
+        int moves = 0;
+        int swaps = 0;
+    };
+
+    /**
+     * Repair segment clustering in place. @p grid must reflect the
+     * current positions (qubits + segments occupied).
+     */
+    Result run(Netlist &netlist, OccupancyGrid &grid) const;
+
+    /**
+     * rilc (Section IV-C2): every segment of the resonator must be in
+     * close proximity to at least one other segment of the same
+     * resonator -- i.e. no singleton clusters. Split blocks are fine;
+     * the meander is re-routed through them (Fig. 8-e).
+     */
+    bool integrationLegal(const Netlist &netlist, int resonator_id) const;
+
+    /** Segment clusters of a resonator (lists of instance ids). */
+    std::vector<std::vector<int>>
+    clusters(const Netlist &netlist, int resonator_id) const;
+
+  private:
+    /** True if two instances' padded rects are within the tolerance. */
+    bool adjacent(const Instance &a, const Instance &b) const;
+
+    /**
+     * Rip up and contiguously re-place the full segment chain of
+     * resonator @p r (the final repair of Algorithm 1 failures).
+     * @return true if the resonator is integration-legal afterwards.
+     */
+    bool replaceChain(Netlist &netlist, OccupancyGrid &grid, int r) const;
+
+    /**
+     * tau check for placing instance @p inst (hypothetically centered at
+     * @p pos) next to its neighbours: no near-resonant foreign instance
+     * within the adjacency tolerance. Always passes when resonance
+     * checking is disabled.
+     */
+    bool resonanceOk(const Netlist &netlist, const OccupancyGrid &grid,
+                     const Instance &inst, Vec2 pos,
+                     int ignore_a, int ignore_b) const;
+
+    IntegrationParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_LEGAL_INTEGRATION_HPP

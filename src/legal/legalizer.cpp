@@ -1,0 +1,154 @@
+#include "legal/legalizer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geometry/spatial_hash.hpp"
+#include "legal/flow_refine.hpp"
+#include "legal/spiral.hpp"
+#include "legal/tetris.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Legalizer::Legalizer(LegalizerParams params)
+    : params_(params)
+{
+}
+
+bool
+Legalizer::attempt(Netlist &netlist, LegalizeResult &result) const
+{
+    result = LegalizeResult{};
+    OccupancyGrid grid(netlist.region(), params_.cellUm);
+
+    // --- Stage 1: qubits (greedy spiral, central-first order). ---
+    const Vec2 center = netlist.region().center();
+    std::vector<int> qubit_order(netlist.numQubits());
+    std::iota(qubit_order.begin(), qubit_order.end(), 0);
+    std::sort(qubit_order.begin(), qubit_order.end(), [&](int a, int b) {
+        const double da = netlist.instance(a).pos.dist(center);
+        const double db = netlist.instance(b).pos.dist(center);
+        if (da != db)
+            return da < db;
+        return a < b;
+    });
+
+    std::vector<Vec2> desired(netlist.numQubits());
+    for (int q = 0; q < netlist.numQubits(); ++q)
+        desired[q] = netlist.instance(q).pos;
+
+    for (int q : qubit_order) {
+        Instance &inst = netlist.instance(q);
+        const double w = inst.paddedWidth();
+        const double h = inst.paddedHeight();
+        const auto spot = spiralSearch(grid, inst.pos, w, h);
+        if (!spot)
+            return false;
+        inst.pos = *spot;
+        grid.occupy(Rect::fromCenter(*spot, w, h), q);
+    }
+
+    // --- Stage 1b: min-cost-flow refinement over the pooled sites. ---
+    if (params_.flowRefine && netlist.numQubits() > 1) {
+        std::vector<Vec2> sites(netlist.numQubits());
+        for (int q = 0; q < netlist.numQubits(); ++q)
+            sites[q] = netlist.instance(q).pos;
+        const std::vector<int> assign = refineAssignment(desired, sites);
+        for (int q = 0; q < netlist.numQubits(); ++q)
+            netlist.instance(q).pos = sites[assign[q]];
+    }
+    for (int q = 0; q < netlist.numQubits(); ++q) {
+        result.qubitDisplacementUm +=
+            desired[q].dist(netlist.instance(q).pos);
+    }
+
+    // --- Stage 2: segments (Tetris). ---
+    if (!tetrisLegalizeSegments(netlist, grid,
+                                params_.integrationParams,
+                                result.segmentDisplacementUm)) {
+        return false;
+    }
+
+    // --- Stage 3: integration-aware repair. ---
+    if (params_.integration) {
+        IntegrationLegalizer integrator(params_.integrationParams);
+        result.integration = integrator.run(netlist, grid);
+    }
+    return true;
+}
+
+LegalizeResult
+Legalizer::legalize(Netlist &netlist) const
+{
+    // Snapshot the global-placement solution so retries with a larger
+    // region restart from the same input.
+    std::vector<Vec2> snapshot(netlist.numInstances());
+    for (int i = 0; i < netlist.numInstances(); ++i)
+        snapshot[i] = netlist.instance(i).pos;
+    const Rect original_region = netlist.region();
+
+    LegalizeResult result;
+    for (int attempt_idx = 0; attempt_idx < 4; ++attempt_idx) {
+        if (attempt_idx > 0) {
+            // The region was too fragmented: grow it by 8% per retry
+            // (A_mer is measured from the final bounding box, so slack
+            // here does not inflate the reported area).
+            const double grow =
+                1.0 + 0.08 * static_cast<double>(attempt_idx);
+            Rect region = original_region;
+            region.hi.x =
+                region.lo.x + original_region.width() * grow;
+            region.hi.y =
+                region.lo.y + original_region.height() * grow;
+            netlist.setRegion(region);
+            for (int i = 0; i < netlist.numInstances(); ++i)
+                netlist.instance(i).pos = snapshot[i];
+            warn(str("Legalizer: retrying with region grown ",
+                     (grow - 1.0) * 100.0, "%"));
+        }
+        if (attempt(netlist, result)) {
+            result.legal = isLegal(netlist);
+            if (!result.legal)
+                warn("Legalizer: layout has residual overlaps");
+            return result;
+        }
+    }
+    fatal("Legalizer: could not legalize even after region expansion");
+}
+
+bool
+Legalizer::isLegal(const Netlist &netlist, double tol_um)
+{
+    const auto &instances = netlist.instances();
+    const Rect region = netlist.region().inflated(tol_um);
+
+    double max_extent = 0.0;
+    for (const Instance &inst : instances) {
+        max_extent = std::max(
+            {max_extent, inst.paddedWidth(), inst.paddedHeight()});
+    }
+    SpatialHash hash(netlist.region(), std::max(max_extent, 1.0));
+    for (const Instance &inst : instances) {
+        if (!region.containsRect(inst.paddedRect()))
+            return false;
+        hash.insert(inst.id, inst.pos);
+    }
+    for (const Instance &inst : instances) {
+        const Rect mine = inst.paddedRect();
+        for (std::int32_t other :
+             hash.query(inst.pos, max_extent + tol_um)) {
+            if (other <= inst.id)
+                continue;
+            const Rect theirs = instances[other].paddedRect();
+            const Rect overlap = mine.intersect(theirs);
+            if (!overlap.empty() && overlap.width() > tol_um &&
+                overlap.height() > tol_um) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace qplacer

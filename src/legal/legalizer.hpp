@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Full legalization pipeline (Fig. 7d):
+ *   1. qubits: greedy spiral search, then min-cost-flow refinement;
+ *   2. resonator segments: Tetris-style scan;
+ *   3. integration-aware repair (Algorithm 1).
+ */
+
+#ifndef QPLACER_LEGAL_LEGALIZER_HPP
+#define QPLACER_LEGAL_LEGALIZER_HPP
+
+#include "legal/integration.hpp"
+#include "legal/occupancy.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Legalizer configuration. */
+struct LegalizerParams
+{
+    /** Occupancy cell size; must divide all padded footprints. */
+    double cellUm = 100.0;
+
+    /** Run the min-cost-flow refinement after spiral legalization. */
+    bool flowRefine = true;
+
+    /** Run the integration-aware repair pass. */
+    bool integration = true;
+
+    /** Parameters forwarded to the integration legalizer. */
+    IntegrationParams integrationParams;
+};
+
+/** Legalization outcome. */
+struct LegalizeResult
+{
+    double qubitDisplacementUm = 0.0;
+    double segmentDisplacementUm = 0.0;
+    IntegrationLegalizer::Result integration;
+    bool legal = false; ///< No padded-footprint overlaps at exit.
+};
+
+/** End-to-end legalizer. */
+class Legalizer
+{
+  public:
+    explicit Legalizer(LegalizerParams params = {});
+
+    /**
+     * Legalize @p netlist in place. If the region is too fragmented to
+     * fit everything, it is grown by 8% steps (up to 3 retries) before
+     * giving up with fatal().
+     */
+    LegalizeResult legalize(Netlist &netlist) const;
+
+    /**
+     * Verify no two padded footprints overlap (with small tolerance)
+     * and all instances are in-region.
+     */
+    static bool isLegal(const Netlist &netlist, double tol_um = 1.0);
+
+  private:
+    /** One legalization pass; false if the region ran out of room. */
+    bool attempt(Netlist &netlist, LegalizeResult &result) const;
+
+    LegalizerParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_LEGAL_LEGALIZER_HPP

@@ -1,0 +1,156 @@
+#include "legal/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+constexpr double kEps = 1e-6;
+} // namespace
+
+OccupancyGrid::OccupancyGrid(Rect region, double cell_um)
+    : region_(region), cellUm_(cell_um)
+{
+    if (cell_um <= 0.0)
+        panic("OccupancyGrid: non-positive cell size");
+    nx_ = static_cast<int>(std::floor(region.width() / cell_um + kEps));
+    ny_ = static_cast<int>(std::floor(region.height() / cell_um + kEps));
+    if (nx_ <= 0 || ny_ <= 0)
+        panic("OccupancyGrid: region smaller than one cell");
+    owner_.assign(static_cast<std::size_t>(nx_) * ny_, -1);
+}
+
+OccupancyGrid::Span
+OccupancyGrid::spanOf(const Rect &rect) const
+{
+    Span s;
+    s.x0 = static_cast<int>(
+        std::floor((rect.lo.x - region_.lo.x) / cellUm_ + kEps));
+    s.y0 = static_cast<int>(
+        std::floor((rect.lo.y - region_.lo.y) / cellUm_ + kEps));
+    s.x1 = static_cast<int>(
+        std::ceil((rect.hi.x - region_.lo.x) / cellUm_ - kEps)) - 1;
+    s.y1 = static_cast<int>(
+        std::ceil((rect.hi.y - region_.lo.y) / cellUm_ - kEps)) - 1;
+    return s;
+}
+
+bool
+OccupancyGrid::inRegion(const Rect &rect) const
+{
+    return rect.lo.x >= region_.lo.x - kEps &&
+           rect.lo.y >= region_.lo.y - kEps &&
+           rect.hi.x <= region_.hi.x + kEps &&
+           rect.hi.y <= region_.hi.y + kEps;
+}
+
+bool
+OccupancyGrid::canPlace(const Rect &rect) const
+{
+    return canPlaceIgnoring(rect, -2);
+}
+
+bool
+OccupancyGrid::canPlaceIgnoring(const Rect &rect,
+                                std::int32_t ignore_id) const
+{
+    if (!inRegion(rect))
+        return false;
+    const Span s = spanOf(rect);
+    for (int iy = std::max(0, s.y0); iy <= std::min(ny_ - 1, s.y1); ++iy) {
+        for (int ix = std::max(0, s.x0); ix <= std::min(nx_ - 1, s.x1);
+             ++ix) {
+            const std::int32_t o =
+                owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+            if (o >= 0 && o != ignore_id)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+OccupancyGrid::occupy(const Rect &rect, std::int32_t id)
+{
+    if (!inRegion(rect))
+        panic("OccupancyGrid::occupy: rect outside region");
+    const Span s = spanOf(rect);
+    for (int iy = s.y0; iy <= s.y1; ++iy) {
+        for (int ix = s.x0; ix <= s.x1; ++ix) {
+            if (ix < 0 || ix >= nx_ || iy < 0 || iy >= ny_)
+                continue;
+            std::int32_t &o =
+                owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+            if (o >= 0)
+                panic(str("OccupancyGrid::occupy: overlap at cell (", ix,
+                          ", ", iy, ") owned by ", o));
+            o = id;
+        }
+    }
+}
+
+void
+OccupancyGrid::release(const Rect &rect, std::int32_t id)
+{
+    const Span s = spanOf(rect);
+    for (int iy = std::max(0, s.y0); iy <= std::min(ny_ - 1, s.y1); ++iy) {
+        for (int ix = std::max(0, s.x0); ix <= std::min(nx_ - 1, s.x1);
+             ++ix) {
+            std::int32_t &o =
+                owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+            if (o == id)
+                o = -1;
+        }
+    }
+}
+
+std::int32_t
+OccupancyGrid::ownerAt(Vec2 p) const
+{
+    const int ix =
+        static_cast<int>(std::floor((p.x - region_.lo.x) / cellUm_));
+    const int iy =
+        static_cast<int>(std::floor((p.y - region_.lo.y) / cellUm_));
+    if (ix < 0 || ix >= nx_ || iy < 0 || iy >= ny_)
+        return -1;
+    return owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+}
+
+std::vector<std::int32_t>
+OccupancyGrid::ownersIn(const Rect &rect) const
+{
+    std::vector<std::int32_t> out;
+    const Span s = spanOf(rect);
+    for (int iy = std::max(0, s.y0); iy <= std::min(ny_ - 1, s.y1); ++iy) {
+        for (int ix = std::max(0, s.x0); ix <= std::min(nx_ - 1, s.x1);
+             ++ix) {
+            const std::int32_t o =
+                owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+            if (o >= 0 &&
+                std::find(out.begin(), out.end(), o) == out.end()) {
+                out.push_back(o);
+            }
+        }
+    }
+    return out;
+}
+
+Vec2
+OccupancyGrid::snapCenter(Vec2 desired, double w, double h) const
+{
+    // Align the lower-left corner to the cell lattice.
+    double lx = desired.x - w / 2.0;
+    double ly = desired.y - h / 2.0;
+    lx = region_.lo.x +
+         std::round((lx - region_.lo.x) / cellUm_) * cellUm_;
+    ly = region_.lo.y +
+         std::round((ly - region_.lo.y) / cellUm_) * cellUm_;
+    lx = std::clamp(lx, region_.lo.x, region_.hi.x - w);
+    ly = std::clamp(ly, region_.lo.y, region_.hi.y - h);
+    return Vec2(lx + w / 2.0, ly + h / 2.0);
+}
+
+} // namespace qplacer

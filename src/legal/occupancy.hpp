@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cell-based occupancy grid used by the legalizers.
+ *
+ * All component footprints in the flow (padded qubits: 800 um, padded
+ * segments: l_b + 100 um) are multiples of 100 um, so a 100 um cell grid
+ * represents any legal arrangement exactly.
+ */
+
+#ifndef QPLACER_LEGAL_OCCUPANCY_HPP
+#define QPLACER_LEGAL_OCCUPANCY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace qplacer {
+
+/** Grid of ownership cells over the placement region. */
+class OccupancyGrid
+{
+  public:
+    /**
+     * @param region  Placement region.
+     * @param cell_um Cell edge (must divide all footprints used).
+     */
+    OccupancyGrid(Rect region, double cell_um);
+
+    /** True if @p rect lies in-region and covers only free cells. */
+    bool canPlace(const Rect &rect) const;
+
+    /**
+     * Like canPlace() but cells owned by @p ignore_id count as free
+     * (used when testing moves of an already-placed instance).
+     */
+    bool canPlaceIgnoring(const Rect &rect, std::int32_t ignore_id) const;
+
+    /** Mark @p rect as owned by @p id. panics on overlap. */
+    void occupy(const Rect &rect, std::int32_t id);
+
+    /** Release cells of @p rect owned by @p id. */
+    void release(const Rect &rect, std::int32_t id);
+
+    /** Owner of the cell containing @p p (-1 if free/out of range). */
+    std::int32_t ownerAt(Vec2 p) const;
+
+    /** Owners overlapping @p rect (deduplicated). */
+    std::vector<std::int32_t> ownersIn(const Rect &rect) const;
+
+    /**
+     * Snap a desired center so that a w x h rect is cell-aligned and
+     * inside the region.
+     */
+    Vec2 snapCenter(Vec2 desired, double w, double h) const;
+
+    double cellUm() const { return cellUm_; }
+    const Rect &region() const { return region_; }
+    int nx() const { return nx_; }
+    int ny() const { return ny_; }
+
+  private:
+    struct Span
+    {
+        int x0, x1, y0, y1; // inclusive cell ranges
+    };
+    Span spanOf(const Rect &rect) const;
+    bool inRegion(const Rect &rect) const;
+
+    Rect region_;
+    double cellUm_;
+    int nx_;
+    int ny_;
+    std::vector<std::int32_t> owner_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_LEGAL_OCCUPANCY_HPP

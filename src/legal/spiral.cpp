@@ -1,0 +1,57 @@
+#include "legal/spiral.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qplacer {
+
+std::optional<Vec2>
+spiralSearch(const OccupancyGrid &grid, Vec2 desired, double w, double h,
+             int max_radius)
+{
+    return spiralSearchFiltered(grid, desired, w, h, nullptr, max_radius);
+}
+
+std::optional<Vec2>
+spiralSearchFiltered(const OccupancyGrid &grid, Vec2 desired, double w,
+                     double h,
+                     const std::function<bool(Vec2)> &acceptable,
+                     int max_radius)
+{
+    const double cell = grid.cellUm();
+    const Vec2 snapped = grid.snapCenter(desired, w, h);
+
+    if (max_radius <= 0)
+        max_radius = std::max(grid.nx(), grid.ny());
+
+    auto try_at = [&](int dx, int dy) -> std::optional<Vec2> {
+        const Vec2 center(snapped.x + dx * cell, snapped.y + dy * cell);
+        const Rect rect = Rect::fromCenter(center, w, h);
+        if (grid.canPlace(rect) && (!acceptable || acceptable(center)))
+            return center;
+        return std::nullopt;
+    };
+
+    if (auto hit = try_at(0, 0))
+        return hit;
+
+    for (int r = 1; r <= max_radius; ++r) {
+        // Walk the ring of Chebyshev radius r, preferring positions
+        // closest to the desired point first within the ring.
+        for (int dx = -r; dx <= r; ++dx) {
+            if (auto hit = try_at(dx, -r))
+                return hit;
+            if (auto hit = try_at(dx, r))
+                return hit;
+        }
+        for (int dy = -r + 1; dy <= r - 1; ++dy) {
+            if (auto hit = try_at(-r, dy))
+                return hit;
+            if (auto hit = try_at(r, dy))
+                return hit;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace qplacer

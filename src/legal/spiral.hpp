@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Greedy spiral search (the paper's qubit legalization primitive [53]):
+ * starting from a desired position, scan cell offsets ring by ring for
+ * the nearest free slot.
+ */
+
+#ifndef QPLACER_LEGAL_SPIRAL_HPP
+#define QPLACER_LEGAL_SPIRAL_HPP
+
+#include <functional>
+#include <optional>
+
+#include "legal/occupancy.hpp"
+
+namespace qplacer {
+
+/**
+ * Find the free, snapped center closest (in ring order) to @p desired
+ * for a w x h footprint.
+ *
+ * @param grid       Occupancy state.
+ * @param desired    Target center (um).
+ * @param w, h       Footprint size (um).
+ * @param max_radius Search cutoff in cells (0 = whole region).
+ * @return a placeable center, or nullopt if the region is full.
+ */
+std::optional<Vec2> spiralSearch(const OccupancyGrid &grid, Vec2 desired,
+                                 double w, double h, int max_radius = 0);
+
+/**
+ * Like spiralSearch(), but a candidate is accepted only when
+ * @p acceptable(center) holds (e.g. the tau resonance check of the
+ * frequency-aware legalizer). Returns nullopt if no acceptable free
+ * slot exists within the radius.
+ */
+std::optional<Vec2>
+spiralSearchFiltered(const OccupancyGrid &grid, Vec2 desired, double w,
+                     double h,
+                     const std::function<bool(Vec2)> &acceptable,
+                     int max_radius = 0);
+
+} // namespace qplacer
+
+#endif // QPLACER_LEGAL_SPIRAL_HPP

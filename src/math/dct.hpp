@@ -1,0 +1,49 @@
+/**
+ * @file
+ * 1-D cosine/sine transforms built on the radix-2 FFT (Makhoul's method).
+ *
+ * These are the kernels behind the spectral Poisson solver used by the
+ * electrostatic density force (ePlace-style):
+ *
+ *  - dct2:      X[k] = sum_n x[n] cos(pi*(n+0.5)*k/N)          (DCT-II)
+ *  - idct2:     exact inverse of dct2 (i.e. a scaled DCT-III)
+ *  - cosSeries: y[n] = c[0] + 2*sum_{k>=1} c[k] cos(pi*(n+0.5)*k/N)
+ *  - sinSeries: y[n] = 2*sum_{k>=1} c[k] sin(pi*(n+0.5)*k/N)
+ *
+ * cosSeries evaluates a Neumann-boundary eigenfunction expansion on the
+ * half-sample grid; sinSeries is its x-derivative counterpart (used for
+ * the electric field). All lengths must be powers of two.
+ */
+
+#ifndef QPLACER_MATH_DCT_HPP
+#define QPLACER_MATH_DCT_HPP
+
+#include <vector>
+
+namespace qplacer {
+
+/** FFT-accelerated DCT/DST transform kit (static functions only). */
+class Dct
+{
+  public:
+    /** Forward DCT-II (unnormalized). */
+    static std::vector<double> dct2(const std::vector<double> &x);
+
+    /** Inverse of dct2: idct2(dct2(x)) == x. */
+    static std::vector<double> idct2(const std::vector<double> &X);
+
+    /** Cosine eigen-series evaluation (see file comment). */
+    static std::vector<double> cosSeries(const std::vector<double> &c);
+
+    /** Sine eigen-series evaluation (see file comment). */
+    static std::vector<double> sinSeries(const std::vector<double> &c);
+
+    /** O(N^2) reference implementations used to validate the fast paths. */
+    static std::vector<double> dct2Direct(const std::vector<double> &x);
+    static std::vector<double> cosSeriesDirect(const std::vector<double> &c);
+    static std::vector<double> sinSeriesDirect(const std::vector<double> &c);
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_MATH_DCT_HPP

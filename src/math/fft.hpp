@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Radix-2 complex FFT.
+ *
+ * Implemented from scratch (no external FFT dependency); used by the DCT/
+ * DST transforms that back the spectral Poisson solver in the density
+ * force (src/core/poisson).
+ */
+
+#ifndef QPLACER_MATH_FFT_HPP
+#define QPLACER_MATH_FFT_HPP
+
+#include <complex>
+#include <vector>
+
+namespace qplacer {
+
+/** In-place iterative radix-2 FFT over power-of-two-length data. */
+class Fft
+{
+  public:
+    using Complex = std::complex<double>;
+
+    /**
+     * Forward transform (no normalization):
+     *   X[k] = sum_n x[n] exp(-2*pi*i*k*n/N).
+     * @pre data.size() is a power of two.
+     */
+    static void forward(std::vector<Complex> &data);
+
+    /**
+     * Inverse transform with 1/N normalization so that
+     * inverse(forward(x)) == x.
+     */
+    static void inverse(std::vector<Complex> &data);
+
+    /** True if @p n is a power of two (and > 0). */
+    static bool isPowerOfTwo(std::size_t n);
+
+  private:
+    static void transform(std::vector<Complex> &data, bool invert);
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_MATH_FFT_HPP

@@ -1,0 +1,75 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v) {
+        if (x <= 0.0)
+            fatal("geomean: non-positive entry");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        fatal("minOf: empty input");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        fatal("maxOf: empty input");
+    return *std::max_element(v.begin(), v.end());
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        fatal("median: empty input");
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    if (n % 2 == 1)
+        return v[n / 2];
+    return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+} // namespace qplacer

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Summary statistics used by the evaluation harness (mean fidelity over
+ * device subsets, geometric means of ratios, etc.).
+ */
+
+#ifndef QPLACER_MATH_STATS_HPP
+#define QPLACER_MATH_STATS_HPP
+
+#include <vector>
+
+namespace qplacer {
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean; requires strictly positive entries. */
+double geomean(const std::vector<double> &v);
+
+/** Sample standard deviation; 0 for fewer than two entries. */
+double stddev(const std::vector<double> &v);
+
+/** Minimum; fatal on empty input. */
+double minOf(const std::vector<double> &v);
+
+/** Maximum; fatal on empty input. */
+double maxOf(const std::vector<double> &v);
+
+/** Median (average of middle two for even sizes); fatal on empty input. */
+double median(std::vector<double> v);
+
+} // namespace qplacer
+
+#endif // QPLACER_MATH_STATS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Disjoint-set (union-find) with path compression and union by size.
+ *
+ * Used by the integration legalizer to track resonator segment clusters
+ * (Algorithm 1's `rilc` connectivity check).
+ */
+
+#ifndef QPLACER_MATH_UNION_FIND_HPP
+#define QPLACER_MATH_UNION_FIND_HPP
+
+#include <numeric>
+#include <vector>
+
+namespace qplacer {
+
+/** Classic disjoint-set forest. */
+class UnionFind
+{
+  public:
+    /** Create @p n singleton sets. */
+    explicit UnionFind(std::size_t n)
+        : parent_(n), size_(n, 1), numSets_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    }
+
+    /** Representative of the set containing @p x. */
+    std::size_t
+    find(std::size_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]]; // path halving
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merge the sets of @p a and @p b; returns true if they were split. */
+    bool
+    unite(std::size_t a, std::size_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        if (size_[a] < size_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+        --numSets_;
+        return true;
+    }
+
+    /** True if @p a and @p b are in the same set. */
+    bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+    /** Size of the set containing @p x. */
+    std::size_t setSize(std::size_t x) { return size_[find(x)]; }
+
+    /** Number of disjoint sets remaining. */
+    std::size_t numSets() const { return numSets_; }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+    std::size_t numSets_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_MATH_UNION_FIND_HPP

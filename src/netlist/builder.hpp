@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Netlist construction: topology + frequency assignment + preprocessing
+ * parameters -> placement netlist (Fig. 7 a-b).
+ */
+
+#ifndef QPLACER_NETLIST_BUILDER_HPP
+#define QPLACER_NETLIST_BUILDER_HPP
+
+#include "freq/assigner.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/partition.hpp"
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/** Builds the placement netlist for a device. */
+class NetlistBuilder
+{
+  public:
+    explicit NetlistBuilder(PartitionParams params = {});
+
+    /**
+     * Build the netlist: one padded 400 um qubit instance per topology
+     * qubit, one padded segment chain per coupler (resonator length from
+     * its assigned frequency), 2-pin nets qubit--first-segment,
+     * consecutive-segment, last-segment--qubit.
+     *
+     * The region is sized to @p target_util and instances are initialized
+     * on the (scaled) topology embedding: qubits at their embedded spots,
+     * segments spread along the straight line between their endpoints.
+     */
+    Netlist build(const Topology &topo,
+                  const FrequencyAssignment &freqs,
+                  double target_util = 0.72) const;
+
+    const PartitionParams &params() const { return params_; }
+
+  private:
+    PartitionParams params_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_NETLIST_BUILDER_HPP

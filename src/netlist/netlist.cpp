@@ -1,0 +1,153 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+int
+Netlist::addInstance(Instance inst)
+{
+    inst.id = numInstances();
+    if (inst.kind == InstanceKind::Qubit) {
+        if (inst.id != numQubits_)
+            panic("Netlist: qubit instances must be added first");
+        ++numQubits_;
+    }
+    instances_.push_back(inst);
+    return inst.id;
+}
+
+void
+Netlist::addNet(int a, int b, double weight)
+{
+    if (a < 0 || a >= numInstances() || b < 0 || b >= numInstances())
+        panic(str("Netlist::addNet: pin out of range (", a, ", ", b, ")"));
+    if (a == b)
+        panic("Netlist::addNet: degenerate net");
+    nets_.push_back(Net{a, b, weight});
+}
+
+int
+Netlist::addResonator(Resonator res)
+{
+    res.id = static_cast<int>(resonators_.size());
+    resonators_.push_back(std::move(res));
+    return resonators_.back().id;
+}
+
+const Instance &
+Netlist::instance(int id) const
+{
+    if (id < 0 || id >= numInstances())
+        panic(str("Netlist::instance: id ", id, " out of range"));
+    return instances_[id];
+}
+
+Instance &
+Netlist::instance(int id)
+{
+    if (id < 0 || id >= numInstances())
+        panic(str("Netlist::instance: id ", id, " out of range"));
+    return instances_[id];
+}
+
+const Resonator &
+Netlist::resonator(int id) const
+{
+    if (id < 0 || id >= static_cast<int>(resonators_.size()))
+        panic(str("Netlist::resonator: id ", id, " out of range"));
+    return resonators_[id];
+}
+
+double
+Netlist::totalPaddedArea() const
+{
+    double acc = 0.0;
+    for (const Instance &inst : instances_)
+        acc += inst.paddedArea();
+    return acc;
+}
+
+void
+Netlist::sizeRegion(double target_util)
+{
+    if (target_util <= 0.0 || target_util > 1.0)
+        fatal("Netlist::sizeRegion: utilization must be in (0, 1]");
+    const double side = std::sqrt(totalPaddedArea() / target_util);
+    region_ = Rect(0.0, 0.0, side, side);
+}
+
+int
+Netlist::qubitInstance(int qubit_id) const
+{
+    for (int i = 0; i < numQubits_; ++i) {
+        if (instances_[i].qubit == qubit_id)
+            return i;
+    }
+    panic(str("Netlist::qubitInstance: qubit ", qubit_id, " not found"));
+}
+
+std::vector<double>
+Netlist::frequencies() const
+{
+    std::vector<double> out(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        out[i] = instances_[i].freqHz;
+    return out;
+}
+
+std::vector<int>
+Netlist::resonatorGroups() const
+{
+    std::vector<int> out(instances_.size());
+    for (std::size_t i = 0; i < instances_.size(); ++i)
+        out[i] = instances_[i].resonator;
+    return out;
+}
+
+void
+Netlist::clampIntoRegion()
+{
+    for (Instance &inst : instances_) {
+        const double hw = inst.paddedWidth() / 2.0;
+        const double hh = inst.paddedHeight() / 2.0;
+        inst.pos.x =
+            std::clamp(inst.pos.x, region_.lo.x + hw, region_.hi.x - hw);
+        inst.pos.y =
+            std::clamp(inst.pos.y, region_.lo.y + hh, region_.hi.y - hh);
+    }
+}
+
+void
+Netlist::validate() const
+{
+    for (int i = 0; i < numInstances(); ++i) {
+        const Instance &inst = instances_[i];
+        if (inst.id != i)
+            panic(str("Netlist: instance ", i, " has id ", inst.id));
+        if (inst.width <= 0.0 || inst.height <= 0.0)
+            panic(str("Netlist: instance ", i, " has empty shape"));
+        if (inst.pad < 0.0)
+            panic(str("Netlist: instance ", i, " has negative padding"));
+        if (inst.kind == InstanceKind::Qubit && i >= numQubits_)
+            panic("Netlist: qubit instance after segment instances");
+    }
+    for (const Resonator &res : resonators_) {
+        if (res.segments.empty())
+            panic(str("Netlist: resonator ", res.id, " has no segments"));
+        for (std::size_t s = 0; s < res.segments.size(); ++s) {
+            const Instance &seg = instance(res.segments[s]);
+            if (seg.kind != InstanceKind::ResonatorSegment ||
+                seg.resonator != res.id ||
+                seg.segment != static_cast<int>(s)) {
+                panic(str("Netlist: resonator ", res.id,
+                          " has an inconsistent segment chain"));
+            }
+        }
+    }
+}
+
+} // namespace qplacer

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Placement netlist: movable instances (qubits and resonator segments),
+ * connectivity nets, and the placement region.
+ *
+ * This is the data structure the global placer, legalizers, and
+ * evaluators all operate on. Positions are instance centers in um.
+ */
+
+#ifndef QPLACER_NETLIST_NETLIST_HPP
+#define QPLACER_NETLIST_NETLIST_HPP
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace qplacer {
+
+/** What a movable instance physically is. */
+enum class InstanceKind { Qubit, ResonatorSegment };
+
+/** One movable instance. */
+struct Instance
+{
+    InstanceKind kind = InstanceKind::Qubit;
+    int id = -1;        ///< Index in the netlist.
+    int qubit = -1;     ///< Topology qubit id (kind == Qubit).
+    int resonator = -1; ///< Resonator id (kind == ResonatorSegment).
+    int segment = -1;   ///< Segment ordinal within its resonator.
+    double freqHz = 0.0;
+    double width = 0.0;  ///< Unpadded width (um).
+    double height = 0.0; ///< Unpadded height (um).
+    /**
+     * Padding (um): the minimum spacing this instance demands from a
+     * neighbour of the same kind (d_q or d_r). Each padded footprint
+     * extends pad/2 per side, so two touching padded footprints leave
+     * a (pad_i + pad_j)/2 gap between the bare shapes -- the shared-
+     * padding reading of Section IV-B1 that reproduces the paper's
+     * area numbers (see DESIGN.md).
+     */
+    double pad = 0.0;
+    Vec2 pos; ///< Center position (um).
+
+    /** Width including half the padding on each side. */
+    double paddedWidth() const { return width + pad; }
+
+    /** Height including half the padding on each side. */
+    double paddedHeight() const { return height + pad; }
+
+    /** Padded footprint area (the instance's electrostatic charge). */
+    double paddedArea() const { return paddedWidth() * paddedHeight(); }
+
+    /** Unpadded shape at the current position. */
+    Rect rect() const { return Rect::fromCenter(pos, width, height); }
+
+    /** Padded footprint at the current position. */
+    Rect
+    paddedRect() const
+    {
+        return Rect::fromCenter(pos, paddedWidth(), paddedHeight());
+    }
+};
+
+/** A connection to be kept short (2-pin; stars are decomposed). */
+struct Net
+{
+    int a = -1;
+    int b = -1;
+    double weight = 1.0;
+};
+
+/** A coupling resonator and its segments. */
+struct Resonator
+{
+    int id = -1;
+    int edge = -1;   ///< Topology coupler/edge id.
+    int qubitA = -1; ///< Endpoint qubit (topology id).
+    int qubitB = -1;
+    double freqHz = 0.0;
+    double lengthUm = 0.0; ///< Physical wire length.
+    std::vector<int> segments; ///< Instance ids, in chain order.
+};
+
+/** The full placement problem instance. */
+class Netlist
+{
+  public:
+    Netlist() = default;
+
+    /** Append an instance; returns its id. */
+    int addInstance(Instance inst);
+
+    /** Append a 2-pin net. */
+    void addNet(int a, int b, double weight = 1.0);
+
+    /** Append a resonator record; returns its id. */
+    int addResonator(Resonator res);
+
+    const std::vector<Instance> &instances() const { return instances_; }
+    std::vector<Instance> &instances() { return instances_; }
+    const std::vector<Net> &nets() const { return nets_; }
+    const std::vector<Resonator> &resonators() const { return resonators_; }
+
+    const Instance &instance(int id) const;
+    Instance &instance(int id);
+    const Resonator &resonator(int id) const;
+
+    /** Number of qubit instances (they are always ids 0..n-1). */
+    int numQubits() const { return numQubits_; }
+
+    /** Total number of movable instances (#cells of Table II). */
+    int numInstances() const { return static_cast<int>(instances_.size()); }
+
+    /** Sum of padded instance areas (A_poly of Eq. 17). */
+    double totalPaddedArea() const;
+
+    /** Placement region. */
+    const Rect &region() const { return region_; }
+
+    /**
+     * Size the (square) placement region so that padded area fills
+     * @p target_util of it, anchored at the origin.
+     */
+    void sizeRegion(double target_util);
+
+    /** Set an explicit region. */
+    void setRegion(const Rect &region) { region_ = region; }
+
+    /** Instance id of topology qubit @p qubit_id. */
+    int qubitInstance(int qubit_id) const;
+
+    /** Frequencies of all instances, indexed by instance id. */
+    std::vector<double> frequencies() const;
+
+    /** Resonator id per instance (-1 for qubits). */
+    std::vector<int> resonatorGroups() const;
+
+    /** Clamp every instance center so its padded rect stays in-region. */
+    void clampIntoRegion();
+
+    /** Consistency checks (ids, segment chains); panics on violation. */
+    void validate() const;
+
+  private:
+    std::vector<Instance> instances_;
+    std::vector<Net> nets_;
+    std::vector<Resonator> resonators_;
+    Rect region_;
+    int numQubits_ = 0;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_NETLIST_NETLIST_HPP

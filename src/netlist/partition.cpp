@@ -1,0 +1,22 @@
+#include "netlist/partition.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+int
+segmentCount(double length_um, const PartitionParams &params)
+{
+    if (length_um <= 0.0)
+        fatal("segmentCount: non-positive resonator length");
+    if (params.segmentUm <= 0.0 || params.wireWidthUm <= 0.0)
+        fatal("segmentCount: non-positive partition parameters");
+    const double area = length_um * params.wireWidthUm;
+    const double block = params.segmentUm * params.segmentUm;
+    const int count = static_cast<int>(std::ceil(area / block - 1e-9));
+    return count < 1 ? 1 : count;
+}
+
+} // namespace qplacer

@@ -1,0 +1,35 @@
+#include "physics/boxmode.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+constexpr double kLightSpeedMps = 2.99792458e8;
+} // namespace
+
+double
+tm110FrequencyHz(double width_um, double height_um, double eps_r)
+{
+    if (width_um <= 0.0 || height_um <= 0.0)
+        fatal("tm110FrequencyHz: non-positive substrate size");
+    if (eps_r < 1.0)
+        fatal("tm110FrequencyHz: relative permittivity below vacuum");
+    const double a = width_um * 1e-6;
+    const double b = height_um * 1e-6;
+    return kLightSpeedMps / (2.0 * std::sqrt(eps_r)) *
+           std::sqrt(1.0 / (a * a) + 1.0 / (b * b));
+}
+
+double
+substrateModeMarginHz(const Rect &substrate, double top_component_hz,
+                      double eps_r)
+{
+    return tm110FrequencyHz(substrate.width(), substrate.height(),
+                            eps_r) -
+           top_component_hz;
+}
+
+} // namespace qplacer

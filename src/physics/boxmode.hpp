@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Substrate spurious electromagnetic (box) modes, Section III-C.
+ *
+ * A larger substrate lowers its first TM110 eigenmode; once that mode
+ * drops near the component bands it hybridizes with qubits and
+ * resonators (substrate crosstalk), which is the physical reason
+ * QPlacer optimizes for a *compact* layout. The paper quotes
+ * TM110 = 12.41 GHz for 5x5 mm^2 and 6.20 GHz for 10x10 mm^2 silicon.
+ */
+
+#ifndef QPLACER_PHYSICS_BOXMODE_HPP
+#define QPLACER_PHYSICS_BOXMODE_HPP
+
+#include "geometry/rect.hpp"
+
+namespace qplacer {
+
+/** Relative permittivity of the silicon substrate. */
+constexpr double kSiliconEpsR = 11.7;
+
+/**
+ * First spurious mode (TM110) of a rectangular substrate:
+ *   f = c / (2 sqrt(eps_r)) * sqrt(1/a^2 + 1/b^2)
+ * @param width_um, height_um Substrate dimensions (um).
+ */
+double tm110FrequencyHz(double width_um, double height_um,
+                        double eps_r = kSiliconEpsR);
+
+/**
+ * Margin between the substrate's TM110 mode and the top of the
+ * component spectrum (Hz). Positive = safe; negative = the substrate
+ * mode has dropped into/below the resonator band and would hybridize.
+ * @param substrate  The layout's enclosing rectangle.
+ * @param top_component_hz Highest component frequency on the chip
+ *                   (default: top of the resonator band, 7 GHz).
+ */
+double substrateModeMarginHz(const Rect &substrate,
+                             double top_component_hz = 7.0e9,
+                             double eps_r = kSiliconEpsR);
+
+} // namespace qplacer
+
+#endif // QPLACER_PHYSICS_BOXMODE_HPP

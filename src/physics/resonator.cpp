@@ -1,0 +1,41 @@
+#include "physics/resonator.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+double
+resonatorLengthUm(double freq_hz)
+{
+    if (freq_hz <= 0.0)
+        fatal("resonatorLengthUm: non-positive frequency");
+    // v0 [m/s] / (2 f [Hz]) gives meters; convert to micrometers.
+    return kWaveSpeedMps / (2.0 * freq_hz) * 1e6;
+}
+
+double
+resonatorFreqHz(double length_um)
+{
+    if (length_um <= 0.0)
+        fatal("resonatorFreqHz: non-positive length");
+    return kWaveSpeedMps / (2.0 * length_um * 1e-6);
+}
+
+double
+ResonatorParams::lengthUm() const
+{
+    return resonatorLengthUm(freqHz);
+}
+
+void
+ResonatorParams::validate() const
+{
+    if (freqHz <= 0.0)
+        fatal("ResonatorParams: non-positive frequency");
+    if (capFf <= 0.0)
+        fatal("ResonatorParams: non-positive capacitance");
+    if (wireWidthUm <= 0.0)
+        fatal("ResonatorParams: non-positive wire width");
+}
+
+} // namespace qplacer

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Coupling (bus) resonator parameters (Section II-A / V-C).
+ *
+ * A lambda/2 coplanar-waveguide resonator of frequency f has physical
+ * length L = v0 / (2 f); for the paper's band (6.0-7.0 GHz) this gives
+ * 10.8 mm down to 9.3 mm of meandered wire, which is the area the
+ * partitioning step reserves on the substrate.
+ */
+
+#ifndef QPLACER_PHYSICS_RESONATOR_HPP
+#define QPLACER_PHYSICS_RESONATOR_HPP
+
+#include "physics/constants.hpp"
+
+namespace qplacer {
+
+/** Parameters of a half-wave bus resonator. */
+struct ResonatorParams
+{
+    double freqHz = 6.5e9;            ///< Fundamental mode frequency.
+    double capFf = kResonatorCapFf;   ///< Total capacitance.
+    double wireWidthUm = kResonatorWireWidthUm; ///< Reserved wire width.
+
+    /** Physical wire length L = v0 / (2 f), in micrometers. */
+    double lengthUm() const;
+
+    /** Reserved substrate area L * wire width (um^2). */
+    double areaUm2() const { return lengthUm() * wireWidthUm; }
+
+    /** Sanity-check parameter ranges; fatal() on violation. */
+    void validate() const;
+};
+
+/** Resonator length (um) for a given fundamental frequency (Hz). */
+double resonatorLengthUm(double freq_hz);
+
+/** Fundamental frequency (Hz) for a given wire length (um). */
+double resonatorFreqHz(double length_um);
+
+} // namespace qplacer
+
+#endif // QPLACER_PHYSICS_RESONATOR_HPP

@@ -1,0 +1,22 @@
+#include "physics/transmon.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+void
+TransmonParams::validate() const
+{
+    if (freqHz <= 0.0)
+        fatal("TransmonParams: non-positive frequency");
+    if (capFf <= 0.0)
+        fatal("TransmonParams: non-positive capacitance");
+    if (sizeUm <= 0.0)
+        fatal("TransmonParams: non-positive size");
+    if (t1 <= 0.0 || t2 <= 0.0)
+        fatal("TransmonParams: non-positive coherence time");
+    if (anharmonicityHz <= 0.0 || anharmonicityHz >= freqHz)
+        fatal("TransmonParams: anharmonicity out of range");
+}
+
+} // namespace qplacer

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fixed-frequency transmon qubit parameters (Section II-A).
+ */
+
+#ifndef QPLACER_PHYSICS_TRANSMON_HPP
+#define QPLACER_PHYSICS_TRANSMON_HPP
+
+#include "physics/constants.hpp"
+
+namespace qplacer {
+
+/** Parameters of a fixed-frequency pocket transmon. */
+struct TransmonParams
+{
+    double freqHz = 5.0e9;                 ///< omega_01 / 2pi.
+    double capFf = kQubitCapFf;            ///< Shunt capacitance.
+    double anharmonicityHz = kAnharmonicityHz; ///< alpha / 2pi.
+    double sizeUm = kQubitSizeUm;          ///< Pocket edge length.
+    double t1 = kT1Seconds;                ///< Relaxation time.
+    double t2 = kT2Seconds;                ///< Dephasing time.
+
+    /**
+     * Frequency of the 1->2 transition: omega_12 = omega_01 + alpha
+     * (alpha is negative for transmons, but the paper quotes |alpha|;
+     * we subtract).
+     */
+    double freq12Hz() const { return freqHz - anharmonicityHz; }
+
+    /** Sanity-check the parameter ranges; fatal() on violation. */
+    void validate() const;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_PHYSICS_TRANSMON_HPP

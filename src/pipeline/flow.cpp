@@ -1,0 +1,84 @@
+#include "pipeline/flow.hpp"
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace qplacer {
+
+QplacerFlow::QplacerFlow(FlowParams params)
+    : params_(params)
+{
+}
+
+const char *
+placerModeName(PlacerMode mode)
+{
+    switch (mode) {
+      case PlacerMode::Qplacer:
+        return "Qplacer";
+      case PlacerMode::Classic:
+        return "Classic";
+      case PlacerMode::Human:
+        return "Human";
+    }
+    return "?";
+}
+
+FlowResult
+QplacerFlow::run(const Topology &topo) const
+{
+    Timer timer;
+    FlowResult result;
+
+    const FrequencyAssigner assigner(params_.assigner);
+    result.freqs = assigner.assign(topo);
+
+    if (params_.mode == PlacerMode::Human) {
+        const HumanPlacer human(params_.partition);
+        result.netlist = human.place(topo, result.freqs);
+    } else {
+        const NetlistBuilder builder(params_.partition);
+        result.netlist =
+            builder.build(topo, result.freqs, params_.targetUtil);
+
+        PlacerParams pp = params_.placer;
+        LegalizerParams lp = params_.legalizer;
+        lp.integrationParams.detuningThresholdHz =
+            params_.assigner.detuningThresholdHz;
+        if (params_.mode == PlacerMode::Classic) {
+            // Classic: the same engine and hyper-parameters, minus every
+            // frequency-aware ingredient (Section V-B).
+            pp.freqForce = false;
+            lp.integrationParams.resonanceCheck = false;
+        }
+
+        const GlobalPlacer placer(pp);
+        result.place = placer.place(result.netlist);
+
+        const Legalizer legalizer(lp);
+        result.legal = legalizer.legalize(result.netlist);
+    }
+
+    result.area = computeArea(result.netlist);
+    result.hotspots = analyzeHotspots(result.netlist, params_.hotspot);
+    result.seconds = timer.seconds();
+
+    inform(str(placerModeName(params_.mode), " flow on ", topo.name,
+               ": #cells=", result.netlist.numInstances(),
+               " Ph=", result.hotspots.phPercent,
+               "% util=", result.area.utilization));
+    return result;
+}
+
+FlowResult
+QplacerFlow::runMode(const Topology &topo, PlacerMode mode,
+                     double segment_um, std::uint64_t seed)
+{
+    FlowParams params;
+    params.mode = mode;
+    params.partition.segmentUm = segment_um;
+    params.placer.seed = seed;
+    return QplacerFlow(params).run(topo);
+}
+
+} // namespace qplacer

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end placement flow (Fig. 7): frequency assignment ->
+ * preprocessing (padding + partitioning) -> frequency-aware global
+ * placement -> integration-aware legalization -> metrics.
+ *
+ * This is the library's primary public entry point:
+ *
+ *   Topology topo = makeTopology("Falcon");
+ *   FlowResult r = QplacerFlow().run(topo);
+ *   writeLayoutSvg(r.netlist, "falcon.svg");
+ */
+
+#ifndef QPLACER_PIPELINE_FLOW_HPP
+#define QPLACER_PIPELINE_FLOW_HPP
+
+#include "baseline/human_placer.hpp"
+#include "core/placer.hpp"
+#include "eval/area.hpp"
+#include "eval/hotspot.hpp"
+#include "freq/assigner.hpp"
+#include "legal/legalizer.hpp"
+#include "netlist/builder.hpp"
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/** Which placement scheme to run (Section V-B). */
+enum class PlacerMode
+{
+    Qplacer, ///< Frequency-aware engine + tau-checked legalization.
+    Classic, ///< Same engine, frequency force and tau checks disabled.
+    Human,   ///< Manual grid-style reference layout.
+};
+
+/** Full-flow configuration. */
+struct FlowParams
+{
+    PlacerMode mode = PlacerMode::Qplacer;
+    AssignerParams assigner;
+    PartitionParams partition;
+    PlacerParams placer;
+    LegalizerParams legalizer;
+    HotspotParams hotspot;
+    double targetUtil = 0.72;
+};
+
+/** Everything a flow run produces. */
+struct FlowResult
+{
+    Netlist netlist; ///< Placed + legalized layout.
+    FrequencyAssignment freqs;
+    PlaceResult place;       ///< Global-placement stats (not for Human).
+    LegalizeResult legal;    ///< Legalization stats (not for Human).
+    AreaMetrics area;
+    HotspotReport hotspots;
+    double seconds = 0.0; ///< End-to-end wall-clock.
+};
+
+/** The placement flow driver. */
+class QplacerFlow
+{
+  public:
+    explicit QplacerFlow(FlowParams params = {});
+
+    /** Run the configured flow on @p topo. */
+    FlowResult run(const Topology &topo) const;
+
+    /** Convenience: run with a given mode, default everything else. */
+    static FlowResult runMode(const Topology &topo, PlacerMode mode,
+                              double segment_um = 300.0,
+                              std::uint64_t seed = 1);
+
+    const FlowParams &params() const { return params_; }
+
+  private:
+    FlowParams params_;
+};
+
+/** Human-readable mode name. */
+const char *placerModeName(PlacerMode mode);
+
+} // namespace qplacer
+
+#endif // QPLACER_PIPELINE_FLOW_HPP

@@ -1,0 +1,32 @@
+#include "topology/factory.hpp"
+
+#include "topology/generators.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Topology
+makeTopology(const std::string &name)
+{
+    if (name == "Grid" || name == "Grid25")
+        return makeGrid(5, 5);
+    if (name == "Xtree")
+        return makeXtree();
+    if (name == "Falcon")
+        return makeFalcon();
+    if (name == "Eagle")
+        return makeEagle();
+    if (name == "Aspen-11")
+        return makeAspen11();
+    if (name == "Aspen-M")
+        return makeAspenM();
+    fatal("makeTopology: unknown topology '" + name + "'");
+}
+
+std::vector<std::string>
+paperTopologyNames()
+{
+    return {"Grid", "Xtree", "Falcon", "Eagle", "Aspen-11", "Aspen-M"};
+}
+
+} // namespace qplacer

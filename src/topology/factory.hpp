@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Name-based topology lookup plus the paper's full evaluation suite.
+ */
+
+#ifndef QPLACER_TOPOLOGY_FACTORY_HPP
+#define QPLACER_TOPOLOGY_FACTORY_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/**
+ * Build a topology by name: "Grid", "Xtree", "Falcon", "Eagle",
+ * "Aspen-11", "Aspen-M". fatal() on unknown names.
+ */
+Topology makeTopology(const std::string &name);
+
+/** Names of the six topologies evaluated in the paper, in paper order. */
+std::vector<std::string> paperTopologyNames();
+
+} // namespace qplacer
+
+#endif // QPLACER_TOPOLOGY_FACTORY_HPP

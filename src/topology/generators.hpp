@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Generators for the six device topologies evaluated in the paper
+ * (Table I): Grid-25, Heavy-Hex 27 (Falcon), Heavy-Hex 127 (Eagle),
+ * Octagon 40 (Aspen-11), Octagon 80 (Aspen-M), X-tree 53.
+ */
+
+#ifndef QPLACER_TOPOLOGY_GENERATORS_HPP
+#define QPLACER_TOPOLOGY_GENERATORS_HPP
+
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/**
+ * Rectangular nearest-neighbour grid (rows x cols qubits); the paper's
+ * QEC-friendly "Grid 25" is makeGrid(5, 5).
+ */
+Topology makeGrid(int rows, int cols);
+
+/**
+ * IBM Falcon 27-qubit heavy-hex processor (the published coupling map of
+ * the 27-qubit Falcon family, 28 couplers).
+ */
+Topology makeFalcon();
+
+/**
+ * IBM Eagle 127-qubit heavy-hex processor, generated parametrically as
+ * 7 qubit rows (14/15/.../15/14 wide) joined by 4 bridge qubits per gap;
+ * reproduces the published 127 qubits / 144 couplers.
+ */
+Topology makeEagle();
+
+/**
+ * Generic heavy-hex lattice made of @p num_rows horizontal chains of
+ * width @p row_width joined by bridge qubits every 4 columns with
+ * alternating offsets (the Eagle construction, parameterized).
+ */
+Topology makeHeavyHex(int num_rows, int row_width);
+
+/**
+ * Rigetti Aspen-style octagon lattice: @p rows x @p cols rings of eight
+ * qubits; adjacent rings share two couplers. Aspen-11 is (1, 5),
+ * Aspen-M is (2, 5).
+ */
+Topology makeOctagon(int rows, int cols);
+
+/** Rigetti Aspen-11 (40 qubits, 48 couplers). */
+Topology makeAspen11();
+
+/** Rigetti Aspen-M (80 qubits, 106 couplers). */
+Topology makeAspenM();
+
+/**
+ * X-tree (Pauli-string-efficient architecture, level 3): a 53-qubit tree
+ * (52 couplers) with branching 4 at the first two levels and 2 at the
+ * leaves, embedded radially.
+ */
+Topology makeXtree();
+
+} // namespace qplacer
+
+#endif // QPLACER_TOPOLOGY_GENERATORS_HPP

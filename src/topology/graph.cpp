@@ -1,0 +1,142 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Graph::Graph(int num_nodes)
+    : adjacency_(num_nodes)
+{
+    if (num_nodes < 0)
+        panic("Graph: negative node count");
+}
+
+void
+Graph::checkNode(int u) const
+{
+    if (u < 0 || u >= numNodes())
+        panic(str("Graph: node ", u, " out of range [0, ", numNodes(), ")"));
+}
+
+int
+Graph::addEdge(int u, int v)
+{
+    checkNode(u);
+    checkNode(v);
+    if (u == v)
+        panic(str("Graph::addEdge: self-loop at ", u));
+    if (hasEdge(u, v))
+        panic(str("Graph::addEdge: duplicate edge ", u, "-", v));
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    edges_.emplace_back(std::min(u, v), std::max(u, v));
+    return numEdges() - 1;
+}
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    checkNode(u);
+    checkNode(v);
+    const auto &adj = adjacency_[u];
+    return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+const std::vector<int> &
+Graph::neighbors(int u) const
+{
+    checkNode(u);
+    return adjacency_[u];
+}
+
+int
+Graph::degree(int u) const
+{
+    checkNode(u);
+    return static_cast<int>(adjacency_[u].size());
+}
+
+int
+Graph::maxDegree() const
+{
+    int best = 0;
+    for (int u = 0; u < numNodes(); ++u)
+        best = std::max(best, degree(u));
+    return best;
+}
+
+std::vector<int>
+Graph::bfsDistances(int source) const
+{
+    checkNode(source);
+    std::vector<int> dist(numNodes(), -1);
+    std::queue<int> frontier;
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        for (int v : adjacency_[u]) {
+            if (dist[v] < 0) {
+                dist[v] = dist[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+bool
+Graph::isConnected() const
+{
+    if (numNodes() == 0)
+        return true;
+    const auto dist = bfsDistances(0);
+    return std::all_of(dist.begin(), dist.end(),
+                       [](int d) { return d >= 0; });
+}
+
+int
+Graph::distance(int u, int v) const
+{
+    checkNode(v);
+    return bfsDistances(u)[v];
+}
+
+std::vector<int>
+Graph::ballAround(int source, int radius) const
+{
+    const auto dist = bfsDistances(source);
+    std::vector<int> out;
+    for (int v = 0; v < numNodes(); ++v) {
+        if (v != source && dist[v] >= 0 && dist[v] <= radius)
+            out.push_back(v);
+    }
+    return out;
+}
+
+Graph
+Graph::inducedSubgraph(const std::vector<int> &nodes,
+                       std::vector<int> *mapping) const
+{
+    std::vector<int> index(numNodes(), -1);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        checkNode(nodes[i]);
+        if (index[nodes[i]] >= 0)
+            panic("Graph::inducedSubgraph: duplicate node in selection");
+        index[nodes[i]] = static_cast<int>(i);
+    }
+    Graph sub(static_cast<int>(nodes.size()));
+    for (const auto &[u, v] : edges_) {
+        if (index[u] >= 0 && index[v] >= 0)
+            sub.addEdge(index[u], index[v]);
+    }
+    if (mapping)
+        *mapping = nodes;
+    return sub;
+}
+
+} // namespace qplacer

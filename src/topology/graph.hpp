@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Undirected graph used for device connectivity (qubit coupling maps)
+ * and interference graphs (frequency assignment).
+ */
+
+#ifndef QPLACER_TOPOLOGY_GRAPH_HPP
+#define QPLACER_TOPOLOGY_GRAPH_HPP
+
+#include <utility>
+#include <vector>
+
+namespace qplacer {
+
+/** Simple undirected graph with adjacency lists and an edge list. */
+class Graph
+{
+  public:
+    /** Create a graph with @p num_nodes nodes and no edges. */
+    explicit Graph(int num_nodes = 0);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(adjacency_.size()); }
+
+    /** Number of (undirected) edges. */
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /**
+     * Add an undirected edge u-v. Self-loops and duplicates are rejected
+     * via panic (device coupling maps never contain them).
+     * @return the edge index.
+     */
+    int addEdge(int u, int v);
+
+    /** True if u and v are adjacent. */
+    bool hasEdge(int u, int v) const;
+
+    /** Neighbours of @p u. */
+    const std::vector<int> &neighbors(int u) const;
+
+    /** Degree of @p u. */
+    int degree(int u) const;
+
+    /** All edges as (u, v) pairs with u < v. */
+    const std::vector<std::pair<int, int>> &edges() const { return edges_; }
+
+    /** Maximum degree over all nodes (0 for empty graph). */
+    int maxDegree() const;
+
+    /** BFS hop distances from @p source (-1 for unreachable nodes). */
+    std::vector<int> bfsDistances(int source) const;
+
+    /** True if the whole graph is one connected component. */
+    bool isConnected() const;
+
+    /** Hop distance between two nodes (-1 if disconnected). */
+    int distance(int u, int v) const;
+
+    /**
+     * Nodes within @p radius hops of @p source (excluding the source
+     * itself); used to build distance-2 interference edges.
+     */
+    std::vector<int> ballAround(int source, int radius) const;
+
+    /**
+     * Induced subgraph over @p nodes.
+     * @return the subgraph and, via @p mapping, original node ids by
+     *         subgraph index.
+     */
+    Graph inducedSubgraph(const std::vector<int> &nodes,
+                          std::vector<int> *mapping = nullptr) const;
+
+  private:
+    void checkNode(int u) const;
+
+    std::vector<std::vector<int>> adjacency_;
+    std::vector<std::pair<int, int>> edges_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_TOPOLOGY_GRAPH_HPP

@@ -1,0 +1,33 @@
+#include "topology/generators.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Topology
+makeGrid(int rows, int cols)
+{
+    if (rows <= 0 || cols <= 0)
+        fatal("makeGrid: non-positive dimensions");
+    Topology topo;
+    topo.name = str("Grid", rows * cols);
+    topo.description = str(rows, "x", cols,
+                           " nearest-neighbour grid (QEC-friendly)");
+    topo.coupling = Graph(rows * cols);
+    topo.embedding.resize(static_cast<std::size_t>(rows) * cols);
+
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            topo.embedding[id(r, c)] = Vec2(c, r);
+            if (c + 1 < cols)
+                topo.coupling.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                topo.coupling.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+} // namespace qplacer

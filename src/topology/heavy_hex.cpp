@@ -1,0 +1,127 @@
+#include "topology/generators.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Topology
+makeFalcon()
+{
+    // The published IBM Falcon 27-qubit coupling map (e.g. ibmq_montreal)
+    // with the standard gate-map drawing coordinates (col, row).
+    Topology topo;
+    topo.name = "Falcon";
+    topo.description = "IBM Falcon heavy-hex, 27 qubits / 28 couplers";
+    topo.coupling = Graph(27);
+
+    static const int kEdges[][2] = {
+        {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+        {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+        {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+        {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+        {22, 25}, {23, 24}, {24, 25}, {25, 26},
+    };
+    for (const auto &e : kEdges)
+        topo.coupling.addEdge(e[0], e[1]);
+
+    static const double kCoords[][2] = {
+        {1, 0}, {1, 1}, {2, 1}, {3, 1}, {1, 2},  {3, 2},  {0, 3},
+        {1, 3}, {3, 3}, {4, 3}, {1, 4}, {3, 4},  {1, 5},  {2, 5},
+        {3, 5}, {1, 6}, {3, 6}, {0, 7}, {1, 7},  {3, 7},  {4, 7},
+        {1, 8}, {3, 8}, {1, 9}, {2, 9}, {3, 9},  {3, 10},
+    };
+    topo.embedding.reserve(27);
+    for (const auto &c : kCoords)
+        topo.embedding.emplace_back(c[1], c[0]); // (row, col) -> (x, y)
+
+    topo.validate();
+    return topo;
+}
+
+Topology
+makeHeavyHex(int num_rows, int row_width)
+{
+    if (num_rows < 2 || row_width < 5)
+        fatal("makeHeavyHex: need at least 2 rows of width >= 5");
+
+    // Qubit rows at even y; bridge qubits between consecutive rows at odd
+    // y. Bridges sit every 4 columns; the offset alternates 0 / 2 per gap
+    // (the Eagle pattern). The first row drops its last column and the
+    // last row drops its first column, as on the published Eagle map.
+    Topology topo;
+    topo.name = str("HeavyHex", num_rows, "x", row_width);
+    topo.description = "parametric heavy-hex lattice (Eagle pattern)";
+
+    std::vector<std::vector<int>> row_ids(num_rows);
+    std::vector<Vec2> coords;
+    int next = 0;
+
+    auto row_has = [&](int r, int c) {
+        if (c < 0 || c >= row_width)
+            return false;
+        if (r == 0 && c == row_width - 1)
+            return false; // first row is one shorter (right end)
+        if (r == num_rows - 1 && c == 0)
+            return false; // last row is one shorter (left end)
+        return true;
+    };
+
+    for (int r = 0; r < num_rows; ++r) {
+        row_ids[r].assign(row_width, -1);
+        for (int c = 0; c < row_width; ++c) {
+            if (!row_has(r, c))
+                continue;
+            row_ids[r][c] = next++;
+            coords.emplace_back(c, 2 * r);
+        }
+    }
+
+    struct Bridge
+    {
+        int id;
+        int row;
+        int col;
+    };
+    std::vector<Bridge> bridges;
+    for (int r = 0; r + 1 < num_rows; ++r) {
+        const int offset = (r % 2 == 0) ? 0 : 2;
+        for (int c = offset; c < row_width; c += 4) {
+            if (row_ids[r][c] < 0 || row_ids[r + 1][c] < 0)
+                continue;
+            bridges.push_back(Bridge{next++, r, c});
+            coords.emplace_back(c, 2 * r + 1);
+        }
+    }
+
+    topo.coupling = Graph(next);
+    topo.embedding = coords;
+
+    for (int r = 0; r < num_rows; ++r) {
+        for (int c = 0; c + 1 < row_width; ++c) {
+            if (row_ids[r][c] >= 0 && row_ids[r][c + 1] >= 0)
+                topo.coupling.addEdge(row_ids[r][c], row_ids[r][c + 1]);
+        }
+    }
+    for (const Bridge &b : bridges) {
+        topo.coupling.addEdge(b.id, row_ids[b.row][b.col]);
+        topo.coupling.addEdge(b.id, row_ids[b.row + 1][b.col]);
+    }
+
+    topo.validate();
+    return topo;
+}
+
+Topology
+makeEagle()
+{
+    Topology topo = makeHeavyHex(7, 15);
+    topo.name = "Eagle";
+    topo.description = "IBM Eagle heavy-hex, 127 qubits / 144 couplers";
+    if (topo.numQubits() != 127 || topo.numCouplers() != 144) {
+        panic(str("makeEagle: got ", topo.numQubits(), " qubits / ",
+                  topo.numCouplers(), " couplers, expected 127/144"));
+    }
+    return topo;
+}
+
+} // namespace qplacer

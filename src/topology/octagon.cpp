@@ -1,0 +1,86 @@
+#include "topology/generators.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+// Octagon ring vertex offsets in ring order (unit octagon). Index
+// semantics: 0,1 top; 2,3 right; 4,5 bottom; 6,7 left.
+const double kOctOffsets[8][2] = {
+    {0.35, 1.00}, {0.65, 1.00}, {1.00, 0.65}, {1.00, 0.35},
+    {0.65, 0.00}, {0.35, 0.00}, {0.00, 0.35}, {0.00, 0.65},
+};
+
+} // namespace
+
+Topology
+makeOctagon(int rows, int cols)
+{
+    if (rows <= 0 || cols <= 0)
+        fatal("makeOctagon: non-positive dimensions");
+
+    Topology topo;
+    topo.name = str("Octagon", rows * cols * 8);
+    topo.description = "Rigetti Aspen-style octagon lattice";
+    topo.coupling = Graph(rows * cols * 8);
+    topo.embedding.resize(static_cast<std::size_t>(rows) * cols * 8);
+
+    const double pitch = 1.6; // octagon-to-octagon spacing in units
+    auto id = [cols](int r, int c, int v) { return (r * cols + c) * 8 + v; };
+
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            for (int v = 0; v < 8; ++v) {
+                topo.embedding[id(r, c, v)] =
+                    Vec2(c * pitch + kOctOffsets[v][0],
+                         r * pitch + kOctOffsets[v][1]);
+            }
+            // Ring edges.
+            for (int v = 0; v < 8; ++v)
+                topo.coupling.addEdge(id(r, c, v), id(r, c, (v + 1) % 8));
+            // Two couplers to the octagon on the right (Aspen pattern:
+            // right-side qubits to the neighbour's left-side qubits).
+            if (c + 1 < cols) {
+                topo.coupling.addEdge(id(r, c, 2), id(r, c + 1, 7));
+                topo.coupling.addEdge(id(r, c, 3), id(r, c + 1, 6));
+            }
+            // Two couplers to the octagon above.
+            if (r + 1 < rows) {
+                topo.coupling.addEdge(id(r, c, 1), id(r + 1, c, 4));
+                topo.coupling.addEdge(id(r, c, 0), id(r + 1, c, 5));
+            }
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+Topology
+makeAspen11()
+{
+    Topology topo = makeOctagon(1, 5);
+    topo.name = "Aspen-11";
+    topo.description = "Rigetti Aspen-11, 40 qubits / 48 couplers";
+    if (topo.numQubits() != 40 || topo.numCouplers() != 48) {
+        panic(str("makeAspen11: got ", topo.numQubits(), "/",
+                  topo.numCouplers(), ", expected 40/48"));
+    }
+    return topo;
+}
+
+Topology
+makeAspenM()
+{
+    Topology topo = makeOctagon(2, 5);
+    topo.name = "Aspen-M";
+    topo.description = "Rigetti Aspen-M, 80 qubits / 106 couplers";
+    if (topo.numQubits() != 80 || topo.numCouplers() != 106) {
+        panic(str("makeAspenM: got ", topo.numQubits(), "/",
+                  topo.numCouplers(), ", expected 80/106"));
+    }
+    return topo;
+}
+
+} // namespace qplacer

@@ -1,0 +1,40 @@
+#include "topology/topology.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+void
+Topology::validate() const
+{
+    if (static_cast<int>(embedding.size()) != coupling.numNodes()) {
+        panic(str("Topology '", name, "': embedding size ",
+                  embedding.size(), " != node count ",
+                  coupling.numNodes()));
+    }
+    if (!coupling.isConnected())
+        panic(str("Topology '", name, "': coupling graph disconnected"));
+    for (std::size_t i = 0; i < embedding.size(); ++i) {
+        for (std::size_t j = i + 1; j < embedding.size(); ++j) {
+            if (embedding[i].dist(embedding[j]) < 1e-9) {
+                panic(str("Topology '", name, "': qubits ", i, " and ", j,
+                          " share an embedding position"));
+            }
+        }
+    }
+}
+
+double
+Topology::minEmbeddingSpacing() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < embedding.size(); ++i) {
+        for (std::size_t j = i + 1; j < embedding.size(); ++j)
+            best = std::min(best, embedding[i].dist(embedding[j]));
+    }
+    return best;
+}
+
+} // namespace qplacer

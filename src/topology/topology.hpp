@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Device topology: a qubit coupling graph plus a reference 2-D embedding.
+ *
+ * The embedding (abstract, unit-pitch coordinates) is what a human
+ * designer would draw; the Human baseline placer scales it to physical
+ * pitch, and the SVG renderer uses it for schematics.
+ */
+
+#ifndef QPLACER_TOPOLOGY_TOPOLOGY_HPP
+#define QPLACER_TOPOLOGY_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "topology/graph.hpp"
+
+namespace qplacer {
+
+/** A named device connectivity topology (Table I of the paper). */
+struct Topology
+{
+    std::string name;        ///< e.g. "Falcon".
+    std::string description; ///< Free-form provenance note.
+    Graph coupling;          ///< Qubit coupling graph.
+    std::vector<Vec2> embedding; ///< Reference position per qubit.
+
+    /** Number of qubits. */
+    int numQubits() const { return coupling.numNodes(); }
+
+    /** Number of qubit-qubit couplings (each realized by a resonator). */
+    int numCouplers() const { return coupling.numEdges(); }
+
+    /**
+     * Validate internal consistency (embedding size matches the graph,
+     * graph connected, distinct embedding positions). panics on failure.
+     */
+    void validate() const;
+
+    /**
+     * Minimum Euclidean distance between any two embedded qubits; the
+     * Human placer uses this to normalize pitch.
+     */
+    double minEmbeddingSpacing() const;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_TOPOLOGY_TOPOLOGY_HPP

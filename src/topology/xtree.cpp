@@ -1,0 +1,69 @@
+#include "topology/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+Topology
+makeXtree()
+{
+    // 53-qubit tree approximating the level-3 X-tree of the
+    // Pauli-string-efficient architecture: branching 4 at depth 0 and 1,
+    // branching 2 at depth 2; 1 + 4 + 16 + 32 = 53 qubits, 52 couplers.
+    Topology topo;
+    topo.name = "Xtree";
+    topo.description = "X-tree level 3, 53 qubits / 52 couplers";
+    topo.coupling = Graph(53);
+    topo.embedding.resize(53);
+
+    constexpr double kTau = 2.0 * std::numbers::pi;
+
+    int next = 0;
+    const int root = next++;
+    topo.embedding[root] = Vec2(0.0, 0.0);
+
+    // Radial layout: depth-1 ring radius 2, depth-2 radius 4.2,
+    // depth-3 radius 6.4; children fan out around the parent angle.
+    std::vector<int> level1, level2;
+    for (int i = 0; i < 4; ++i) {
+        const int q = next++;
+        level1.push_back(q);
+        const double ang = kTau * i / 4.0;
+        topo.embedding[q] = Vec2(2.0 * std::cos(ang), 2.0 * std::sin(ang));
+        topo.coupling.addEdge(root, q);
+    }
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            const int q = next++;
+            level2.push_back(q);
+            const double ang =
+                kTau * i / 4.0 + (j - 1.5) * (kTau / 18.0);
+            topo.embedding[q] =
+                Vec2(4.2 * std::cos(ang), 4.2 * std::sin(ang));
+            topo.coupling.addEdge(level1[i], q);
+        }
+    }
+    for (int k = 0; k < 16; ++k) {
+        const int i = k / 4;
+        const int j = k % 4;
+        for (int l = 0; l < 2; ++l) {
+            const int q = next++;
+            const double ang = kTau * i / 4.0 +
+                               (j - 1.5) * (kTau / 18.0) +
+                               (l - 0.5) * (kTau / 40.0);
+            topo.embedding[q] =
+                Vec2(6.4 * std::cos(ang), 6.4 * std::sin(ang));
+            topo.coupling.addEdge(level2[k], q);
+        }
+    }
+
+    if (next != 53)
+        panic(str("makeXtree: built ", next, " qubits, expected 53"));
+    topo.validate();
+    return topo;
+}
+
+} // namespace qplacer

@@ -1,0 +1,80 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '" + path + "' for writing");
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    columns_ = columns.size();
+    writeRow(columns);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (columns_ != 0 && cells.size() != columns_) {
+        fatal(str("CsvWriter: row has ", cells.size(), " cells, header has ",
+                  columns_));
+    }
+    writeRow(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::cell(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+CsvWriter::cell(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+CsvWriter::cell(const std::string &v)
+{
+    bool needs_quotes = false;
+    for (char c : v) {
+        if (c == ',' || c == '"' || c == '\n') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes)
+        return v;
+    std::string out = "\"";
+    for (char c : v) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace qplacer

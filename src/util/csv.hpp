@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CSV writer for experiment output (bench harness dumps series here so
+ * results can be re-plotted outside the repo).
+ */
+
+#ifndef QPLACER_UTIL_CSV_HPP
+#define QPLACER_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace qplacer {
+
+/**
+ * Streaming CSV writer. Values are quoted only when needed; numeric
+ * values are formatted with enough precision to round-trip.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; throws via fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Append one data row of pre-formatted cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Format a double for CSV (shortest round-trip-ish form). */
+    static std::string cell(double v);
+
+    /** Format an integer for CSV. */
+    static std::string cell(long long v);
+
+    /** Escape a string cell (quotes + commas). */
+    static std::string cell(const std::string &v);
+
+  private:
+    void writeRow(const std::vector<std::string> &cells);
+
+    std::ofstream out_;
+    std::size_t columns_ = 0;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_CSV_HPP

@@ -1,0 +1,78 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qplacer {
+
+Logger::Logger()
+    : level_(LogLevel::Info)
+{
+    if (const char *env = std::getenv("QP_LOG_LEVEL")) {
+        const int v = std::atoi(env);
+        if (v >= 0 && v <= 3)
+            level_ = static_cast<LogLevel>(v);
+    }
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(level_))
+        return;
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Warn:
+        tag = "warn: ";
+        break;
+      case LogLevel::Info:
+        tag = "info: ";
+        break;
+      case LogLevel::Debug:
+        tag = "debug: ";
+        break;
+      default:
+        break;
+    }
+    std::fprintf(stderr, "%s%s\n", tag, msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::instance().emit(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::instance().emit(LogLevel::Warn, msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    Logger::instance().emit(LogLevel::Debug, msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace qplacer

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Aligned plain-text table printer. The bench binaries print the paper's
+ * tables/figure series through this so their stdout is directly readable.
+ */
+
+#ifndef QPLACER_UTIL_TABLE_HPP
+#define QPLACER_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace qplacer {
+
+/** Collects rows of string cells and renders them column-aligned. */
+class TextTable
+{
+  public:
+    /** Set the column headers. */
+    void header(std::vector<std::string> columns);
+
+    /** Append a row (cell count may differ from header; padded). */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns separated by two spaces. */
+    std::string render() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a fidelity the way the paper does: "<1e-4" below 1e-4. */
+    static std::string fidelity(double f);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_TABLE_HPP

@@ -1,0 +1,39 @@
+#include "util/timer.hpp"
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+void
+Timer::reset()
+{
+    start_ = std::chrono::steady_clock::now();
+}
+
+double
+Timer::seconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+void
+AccumTimer::start()
+{
+    if (running_)
+        panic("AccumTimer::start: already running");
+    running_ = true;
+    current_.reset();
+}
+
+void
+AccumTimer::stop()
+{
+    if (!running_)
+        panic("AccumTimer::stop: not running");
+    running_ = false;
+    total_ += current_.seconds();
+    ++laps_;
+}
+
+} // namespace qplacer

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the runtime benchmarks (Table II).
+ */
+
+#ifndef QPLACER_UTIL_TIMER_HPP
+#define QPLACER_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace qplacer {
+
+/** Simple monotonic stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset();
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const;
+
+    /** Milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Accumulates time across multiple start/stop windows; used to report
+ * per-phase breakdowns of the placement flow.
+ */
+class AccumTimer
+{
+  public:
+    AccumTimer() = default;
+
+    /** Open a timing window. */
+    void start();
+
+    /** Close the current window, adding its duration to the total. */
+    void stop();
+
+    /** Total accumulated seconds over all closed windows. */
+    double seconds() const { return total_; }
+
+    /** Number of closed windows. */
+    int laps() const { return laps_; }
+
+  private:
+    Timer current_;
+    double total_ = 0.0;
+    int laps_ = 0;
+    bool running_ = false;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_TIMER_HPP

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "baseline/human_placer.hpp"
+#include "eval/area.hpp"
+#include "eval/hotspot.hpp"
+#include "freq/assigner.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(HumanPlacer, PitchFollowsPaperFormula)
+{
+    const Topology topo = makeTopology("Falcon");
+    const auto freqs = FrequencyAssigner().assign(topo);
+    const HumanPlacer human;
+    // D = L * d_r / (L_q + 2 d_q) with L ~ 10 mm -> D ~ 0.83 mm; pitch
+    // = (L_q + 2 d_q) + D ~ 2.03 mm.
+    const double pitch = human.pitchUm(freqs);
+    EXPECT_GT(pitch, 1900.0);
+    EXPECT_LT(pitch, 2200.0);
+}
+
+TEST(HumanPlacer, LayoutIsHotspotFree)
+{
+    // The whole point of the manual reference design (Section V-B).
+    for (const char *name : {"Grid", "Falcon", "Aspen-11"}) {
+        const Topology topo = makeTopology(name);
+        const auto freqs = FrequencyAssigner().assign(topo);
+        const Netlist layout = HumanPlacer().place(topo, freqs);
+        const HotspotReport report = analyzeHotspots(layout);
+        EXPECT_EQ(report.pairs.size(), 0u) << name;
+    }
+}
+
+TEST(HumanPlacer, QubitsOnScaledEmbedding)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto freqs = FrequencyAssigner().assign(topo);
+    const HumanPlacer human;
+    const Netlist layout = human.place(topo, freqs);
+    const double pitch = human.pitchUm(freqs);
+    // Adjacent grid qubits sit exactly one pitch apart.
+    EXPECT_NEAR(layout.instance(0).pos.dist(layout.instance(1).pos),
+                pitch, 1e-6);
+}
+
+TEST(HumanPlacer, ForeignShapesNeverOverlap)
+{
+    // Blocks of one resonator are a single physical wire and may pack
+    // arbitrarily tight inside their own channel; *different* components
+    // must never overlap.
+    const Topology topo = makeTopology("Falcon");
+    const auto freqs = FrequencyAssigner().assign(topo);
+    const Netlist layout = HumanPlacer().place(topo, freqs);
+    const auto &instances = layout.instances();
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        for (std::size_t j = i + 1; j < instances.size(); ++j) {
+            if (instances[i].resonator >= 0 &&
+                instances[i].resonator == instances[j].resonator)
+                continue;
+            const Rect a = instances[i].rect();
+            const Rect b = instances[j].rect();
+            const Rect inter = a.intersect(b);
+            EXPECT_FALSE(!inter.empty() && inter.width() > 1.0 &&
+                         inter.height() > 1.0)
+                << "instances " << i << " and " << j;
+        }
+    }
+}
+
+TEST(HumanPlacer, RegionIsLayoutBoundingBox)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto freqs = FrequencyAssigner().assign(topo);
+    const Netlist layout = HumanPlacer().place(topo, freqs);
+    const AreaMetrics m = computeArea(layout);
+    EXPECT_NEAR(m.amerUm2, layout.region().area(), 1.0);
+}
+
+TEST(HumanPlacer, SegmentsStayNearTheirEdge)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto freqs = FrequencyAssigner().assign(topo);
+    const HumanPlacer human;
+    const Netlist layout = human.place(topo, freqs);
+    const double pitch = human.pitchUm(freqs);
+    for (const Resonator &res : layout.resonators()) {
+        const Vec2 a = layout.instance(res.qubitA).pos;
+        const Vec2 b = layout.instance(res.qubitB).pos;
+        const Vec2 mid = (a + b) / 2.0;
+        for (int seg : res.segments) {
+            EXPECT_LT(layout.instance(seg).pos.dist(mid), pitch)
+                << "resonator " << res.id;
+        }
+    }
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Benchmarks, BvStructure)
+{
+    const Circuit bv = makeBv(4);
+    EXPECT_EQ(bv.numQubits(), 4);
+    // X + 2n H + (n-1) CX for the all-ones secret.
+    EXPECT_EQ(bv.count2q(), 3);
+    EXPECT_EQ(bv.count1q(), 1 + 4 + 3); // X(anc) + H-all + H-data
+    EXPECT_EQ(bv.name(), "bv-4");
+}
+
+TEST(Benchmarks, QaoaRingCost)
+{
+    const Circuit q = makeQaoa(9);
+    // One ZZ (2 CX) per ring edge.
+    EXPECT_EQ(q.count2q(), 2 * 9);
+    EXPECT_EQ(q.numQubits(), 9);
+}
+
+TEST(Benchmarks, IsingTrotterSteps)
+{
+    const Circuit ising = makeIsing(4, 3);
+    // Per step: 3 nearest-neighbour ZZ -> 6 CX.
+    EXPECT_EQ(ising.count2q(), 3 * 6);
+}
+
+TEST(Benchmarks, QganLayers)
+{
+    const Circuit qgan = makeQgan(4, 2);
+    // Per layer: a CX chain of n-1.
+    EXPECT_EQ(qgan.count2q(), 2 * 3);
+    // Rotations: 2 per qubit per layer + final RY.
+    EXPECT_EQ(qgan.count1q(), 2 * 2 * 4 + 4);
+}
+
+TEST(Benchmarks, PaperNamesResolve)
+{
+    for (const auto &name : paperBenchmarkNames()) {
+        const Circuit c = makeBenchmark(name);
+        EXPECT_EQ(c.name(), name);
+        EXPECT_GT(c.count2q(), 0) << name;
+    }
+    EXPECT_EQ(paperBenchmarkNames().size(), 8u);
+}
+
+TEST(Benchmarks, QubitCountsMatchNames)
+{
+    EXPECT_EQ(makeBenchmark("bv-16").numQubits(), 16);
+    EXPECT_EQ(makeBenchmark("qaoa-9").numQubits(), 9);
+    EXPECT_EQ(makeBenchmark("ising-4").numQubits(), 4);
+    EXPECT_EQ(makeBenchmark("qgan-9").numQubits(), 9);
+}
+
+TEST(Benchmarks, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeBenchmark("shor-2048"), std::runtime_error);
+}
+
+TEST(Benchmarks, InvalidSizesAreFatal)
+{
+    EXPECT_THROW(makeBv(1), std::runtime_error);
+    EXPECT_THROW(makeQaoa(2), std::runtime_error);
+    EXPECT_THROW(makeIsing(4, 0), std::runtime_error);
+    EXPECT_THROW(makeQgan(1, 2), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

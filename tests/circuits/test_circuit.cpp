@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "circuits/circuit.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Circuit, GateClassification)
+{
+    EXPECT_TRUE((Gate{GateKind::CZ, 0, 1}).isTwoQubit());
+    EXPECT_TRUE((Gate{GateKind::CX, 0, 1}).isTwoQubit());
+    EXPECT_TRUE((Gate{GateKind::Swap, 0, 1}).isTwoQubit());
+    EXPECT_FALSE((Gate{GateKind::H, 0}).isTwoQubit());
+    EXPECT_FALSE((Gate{GateKind::RZ, 0}).isTwoQubit());
+}
+
+TEST(Circuit, CountsGates)
+{
+    Circuit c(3);
+    c.add1q(GateKind::H, 0);
+    c.add1q(GateKind::RX, 1, 0.5);
+    c.add2q(GateKind::CX, 0, 1);
+    c.add2q(GateKind::CZ, 1, 2);
+    EXPECT_EQ(c.count1q(), 2);
+    EXPECT_EQ(c.count2q(), 2);
+    EXPECT_EQ(c.gates().size(), 4u);
+}
+
+TEST(Circuit, DepthTracksCriticalPath)
+{
+    Circuit c(3);
+    c.add1q(GateKind::H, 0);   // q0 level 1
+    c.add2q(GateKind::CX, 0, 1); // both level 2
+    c.add2q(GateKind::CX, 1, 2); // both level 3
+    c.add1q(GateKind::H, 0);   // q0 level 3
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, ParallelGatesShareDepth)
+{
+    Circuit c(4);
+    c.add2q(GateKind::CZ, 0, 1);
+    c.add2q(GateKind::CZ, 2, 3);
+    EXPECT_EQ(c.depth(), 1);
+}
+
+TEST(Circuit, RejectsBadOperands)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add1q(GateKind::H, 5), std::logic_error);
+    EXPECT_THROW(c.add2q(GateKind::CX, 0, 0), std::logic_error);
+    EXPECT_THROW(c.add2q(GateKind::CX, 0, 9), std::logic_error);
+    EXPECT_THROW(c.add1q(GateKind::CX, 0), std::logic_error);
+    EXPECT_THROW(c.add2q(GateKind::H, 0, 1), std::logic_error);
+}
+
+TEST(Circuit, GateNames)
+{
+    EXPECT_EQ((Gate{GateKind::H, 0}).name(), "h");
+    EXPECT_EQ((Gate{GateKind::Swap, 0, 1}).name(), "swap");
+    EXPECT_EQ((Gate{GateKind::CZ, 0, 1}).name(), "cz");
+}
+
+TEST(Circuit, NonPositiveWidthIsFatal)
+{
+    EXPECT_THROW(Circuit(0), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

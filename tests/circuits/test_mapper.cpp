@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/mapper.hpp"
+#include "circuits/subsets.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Mapper, AllTwoQubitGatesOnCoupledPairs)
+{
+    const Topology topo = makeTopology("Falcon");
+    const Mapper mapper(topo.coupling);
+    const Circuit bv = makeBenchmark("bv-9");
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const auto subset = sampleConnectedSubset(topo.coupling, 9, seed);
+        const MappedCircuit mapped = mapper.map(bv, subset);
+        for (const Gate &g : mapped.gates) {
+            if (g.isTwoQubit()) {
+                EXPECT_TRUE(topo.coupling.hasEdge(g.q0, g.q1))
+                    << g.name() << " on " << g.q0 << "," << g.q1;
+            }
+        }
+    }
+}
+
+TEST(Mapper, PreservesLogicalGateCount)
+{
+    const Topology topo = makeTopology("Grid");
+    const Mapper mapper(topo.coupling);
+    const Circuit qaoa = makeBenchmark("qaoa-4");
+    const auto subset = sampleConnectedSubset(topo.coupling, 4, 5);
+    const MappedCircuit mapped = mapper.map(qaoa, subset);
+
+    int non_swap_2q = 0;
+    int one_q = 0;
+    for (const Gate &g : mapped.gates) {
+        if (g.kind == GateKind::Swap)
+            continue;
+        if (g.isTwoQubit())
+            ++non_swap_2q;
+        else
+            ++one_q;
+    }
+    EXPECT_EQ(non_swap_2q, qaoa.count2q());
+    EXPECT_EQ(one_q, qaoa.count1q());
+}
+
+TEST(Mapper, ActiveQubitsWithinSubset)
+{
+    const Topology topo = makeTopology("Aspen-11");
+    const Mapper mapper(topo.coupling);
+    const Circuit qgan = makeBenchmark("qgan-9");
+    const auto subset = sampleConnectedSubset(topo.coupling, 9, 11);
+    const MappedCircuit mapped = mapper.map(qgan, subset);
+    const std::set<int> allowed(subset.begin(), subset.end());
+    for (int q : mapped.activeQubits)
+        EXPECT_TRUE(allowed.count(q)) << "qubit " << q;
+    EXPECT_GE(mapped.activeQubits.size(), 9u);
+}
+
+TEST(Mapper, LinearChainNeedsNoSwaps)
+{
+    // A line circuit mapped onto a line subset routes swap-free when the
+    // initial mapping lines up.
+    Topology topo;
+    topo.name = "line";
+    topo.coupling = Graph(4);
+    topo.coupling.addEdge(0, 1);
+    topo.coupling.addEdge(1, 2);
+    topo.coupling.addEdge(2, 3);
+    topo.embedding = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+
+    Circuit c(4);
+    c.add2q(GateKind::CX, 0, 1);
+    c.add2q(GateKind::CX, 1, 2);
+    c.add2q(GateKind::CX, 2, 3);
+
+    const Mapper mapper(topo.coupling);
+    const MappedCircuit mapped = mapper.map(c, {0, 1, 2, 3});
+    // BFS-order initial mapping on a path keeps neighbours adjacent,
+    // possibly after a couple of swaps at worst.
+    EXPECT_LE(mapped.numSwaps, 2);
+}
+
+TEST(Mapper, SwapCountsInGates2q)
+{
+    const Topology topo = makeTopology("Grid");
+    const Mapper mapper(topo.coupling);
+    const Circuit bv = makeBenchmark("bv-16");
+    const auto subset = sampleConnectedSubset(topo.coupling, 16, 2);
+    const MappedCircuit mapped = mapper.map(bv, subset);
+    long long total_2q = 0;
+    for (int q = 0; q < topo.numQubits(); ++q)
+        total_2q += mapped.gates2q[q];
+    // Each non-swap 2q gate contributes 2 (both operands), each swap 6.
+    EXPECT_EQ(total_2q,
+              2LL * bv.count2q() + 6LL * mapped.numSwaps);
+}
+
+TEST(Mapper, SubsetTooSmallIsFatal)
+{
+    const Topology topo = makeTopology("Grid");
+    const Mapper mapper(topo.coupling);
+    const Circuit bv = makeBenchmark("bv-9");
+    EXPECT_THROW(mapper.map(bv, {0, 1, 2}), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

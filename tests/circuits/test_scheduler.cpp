@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/mapper.hpp"
+#include "circuits/scheduler.hpp"
+#include "circuits/subsets.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+MappedCircuit
+mapOnGrid(const Circuit &circuit, std::uint64_t seed,
+          const Topology &topo)
+{
+    const Mapper mapper(topo.coupling);
+    const auto subset =
+        sampleConnectedSubset(topo.coupling, circuit.numQubits(), seed);
+    return mapper.map(circuit, subset);
+}
+
+TEST(Scheduler, DurationAtLeastCriticalPath)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto mapped = mapOnGrid(makeBenchmark("bv-4"), 1, topo);
+    const Schedule sched = scheduleAsap(mapped, topo.coupling);
+    EXPECT_GT(sched.durationS, 0.0);
+    // At least one 2q gate's worth of time.
+    EXPECT_GE(sched.durationS, kGate2qSeconds);
+    // No qubit is busy longer than the program.
+    for (double b : sched.busyS)
+        EXPECT_LE(b, sched.durationS + 1e-12);
+}
+
+TEST(Scheduler, BusyTimeMatchesGateCounts)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto mapped = mapOnGrid(makeBenchmark("qgan-4"), 3, topo);
+    const Schedule sched = scheduleAsap(mapped, topo.coupling);
+    for (int q = 0; q < topo.numQubits(); ++q) {
+        const double expected = mapped.gates1q[q] * kGate1qSeconds +
+                                mapped.gates2q[q] * kGate2qSeconds;
+        EXPECT_NEAR(sched.busyS[q], expected, 1e-12) << "qubit " << q;
+    }
+}
+
+TEST(Scheduler, EdgeBusyOnlyOnUsedCouplers)
+{
+    const Topology topo = makeTopology("Falcon");
+    const auto mapped = mapOnGrid(makeBenchmark("ising-4"), 5, topo);
+    const Schedule sched = scheduleAsap(mapped, topo.coupling);
+    double total_edge = 0.0;
+    int used_edges = 0;
+    for (double t : sched.edgeBusyS) {
+        total_edge += t;
+        used_edges += t > 0.0;
+    }
+    EXPECT_GT(used_edges, 0);
+    EXPECT_LE(used_edges, topo.numCouplers());
+    // Edge time = per-gate durations summed once per gate.
+    double expected = 0.0;
+    for (const Gate &g : mapped.gates) {
+        if (g.isTwoQubit()) {
+            expected += (g.kind == GateKind::Swap) ? 3 * kGate2qSeconds
+                                                   : kGate2qSeconds;
+        }
+    }
+    EXPECT_NEAR(total_edge, expected, 1e-12);
+}
+
+TEST(Scheduler, ParallelGatesOverlap)
+{
+    Topology topo;
+    topo.coupling = Graph(4);
+    topo.coupling.addEdge(0, 1);
+    topo.coupling.addEdge(2, 3);
+    topo.coupling.addEdge(1, 2);
+    topo.embedding = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+
+    MappedCircuit mapped;
+    mapped.gates = {Gate{GateKind::CZ, 0, 1}, Gate{GateKind::CZ, 2, 3}};
+    mapped.activeQubits = {0, 1, 2, 3};
+    mapped.gates1q.assign(4, 0);
+    mapped.gates2q.assign(4, 1);
+    const Schedule sched = scheduleAsap(mapped, topo.coupling);
+    // Disjoint gates run in parallel: makespan is one gate.
+    EXPECT_NEAR(sched.durationS, kGate2qSeconds, 1e-15);
+}
+
+TEST(Scheduler, GateOnUncoupledPairPanics)
+{
+    Topology topo;
+    topo.coupling = Graph(3);
+    topo.coupling.addEdge(0, 1);
+    MappedCircuit mapped;
+    mapped.gates = {Gate{GateKind::CZ, 0, 2}};
+    mapped.gates1q.assign(3, 0);
+    mapped.gates2q.assign(3, 0);
+    EXPECT_THROW(scheduleAsap(mapped, topo.coupling), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

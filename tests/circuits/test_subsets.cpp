@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/subsets.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Subsets, CorrectSizeAndDistinct)
+{
+    const Topology topo = makeTopology("Falcon");
+    const auto subset = sampleConnectedSubset(topo.coupling, 9, 42);
+    EXPECT_EQ(subset.size(), 9u);
+    std::set<int> unique(subset.begin(), subset.end());
+    EXPECT_EQ(unique.size(), 9u);
+    for (int q : subset) {
+        EXPECT_GE(q, 0);
+        EXPECT_LT(q, topo.numQubits());
+    }
+}
+
+TEST(Subsets, InducedSubgraphIsConnected)
+{
+    const Topology topo = makeTopology("Eagle");
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const auto subset =
+            sampleConnectedSubset(topo.coupling, 16, seed);
+        const Graph sub = topo.coupling.inducedSubgraph(subset);
+        EXPECT_TRUE(sub.isConnected()) << "seed " << seed;
+    }
+}
+
+TEST(Subsets, DeterministicPerSeed)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto a = sampleConnectedSubset(topo.coupling, 9, 7);
+    const auto b = sampleConnectedSubset(topo.coupling, 9, 7);
+    EXPECT_EQ(a, b);
+    const auto c = sampleConnectedSubset(topo.coupling, 9, 8);
+    EXPECT_NE(a, c);
+}
+
+TEST(Subsets, BatchCoversDevice)
+{
+    // 50 subsets of 4 qubits should collectively touch most of the chip
+    // (the paper's motivation for sampling many mappings).
+    const Topology topo = makeTopology("Grid");
+    const auto batch = sampleSubsets(topo.coupling, 4, 50, 3);
+    EXPECT_EQ(batch.size(), 50u);
+    std::set<int> touched;
+    for (const auto &s : batch)
+        touched.insert(s.begin(), s.end());
+    EXPECT_GT(touched.size(), 20u);
+}
+
+TEST(Subsets, FullDeviceSubset)
+{
+    const Topology topo = makeTopology("Grid");
+    const auto subset =
+        sampleConnectedSubset(topo.coupling, topo.numQubits(), 1);
+    EXPECT_EQ(static_cast<int>(subset.size()), topo.numQubits());
+}
+
+TEST(Subsets, InvalidSizeIsFatal)
+{
+    const Topology topo = makeTopology("Grid");
+    EXPECT_THROW(sampleConnectedSubset(topo.coupling, 0, 1),
+                 std::runtime_error);
+    EXPECT_THROW(sampleConnectedSubset(topo.coupling, 26, 1),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "core/nesterov.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Nesterov, MinimizesQuadraticBowl)
+{
+    // f = 0.5 * sum |p - target|^2; gradient = p - target.
+    const Rect region(0, 0, 1000, 1000);
+    const std::vector<Vec2> halves(3, Vec2(10, 10));
+    NesterovOptimizer opt(region, halves);
+    opt.reset({{100, 100}, {900, 100}, {500, 900}});
+    const std::vector<Vec2> target{{400, 400}, {600, 400}, {500, 600}};
+
+    for (int it = 0; it < 200; ++it) {
+        std::vector<Vec2> grad(3);
+        for (int i = 0; i < 3; ++i)
+            grad[i] = opt.lookahead()[i] - target[i];
+        opt.step(grad);
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_NEAR(opt.solution()[i].x, target[i].x, 1.0);
+        EXPECT_NEAR(opt.solution()[i].y, target[i].y, 1.0);
+    }
+}
+
+TEST(Nesterov, ClampsIntoRegion)
+{
+    const Rect region(0, 0, 100, 100);
+    NesterovOptimizer opt(region, {{10, 10}});
+    opt.reset({{500, -200}}); // way outside
+    EXPECT_GE(opt.solution()[0].x, 10.0);
+    EXPECT_LE(opt.solution()[0].x, 90.0);
+    EXPECT_GE(opt.solution()[0].y, 10.0);
+
+    // A huge gradient cannot push the solution out either.
+    for (int it = 0; it < 5; ++it)
+        opt.step({{-1e9, -1e9}});
+    EXPECT_GE(opt.solution()[0].x, 10.0);
+    EXPECT_LE(opt.solution()[0].y, 90.0);
+}
+
+TEST(Nesterov, StepLengthIsCapped)
+{
+    const Rect region(0, 0, 1000, 1000);
+    NesterovOptimizer opt(region, {{1, 1}}, 0.01);
+    opt.reset({{500, 500}});
+    const Vec2 before = opt.solution()[0];
+    opt.step({{1e12, 0}});
+    const Vec2 after = opt.solution()[0];
+    // Max step = 0.01 * diagonal ~ 14.1.
+    EXPECT_LE(before.dist(after), 15.0);
+}
+
+TEST(Nesterov, ZeroGradientHolds)
+{
+    const Rect region(0, 0, 100, 100);
+    NesterovOptimizer opt(region, {{5, 5}});
+    opt.reset({{50, 50}});
+    for (int i = 0; i < 10; ++i)
+        opt.step({{0, 0}});
+    EXPECT_NEAR(opt.solution()[0].x, 50.0, 1e-9);
+}
+
+TEST(Nesterov, SizeMismatchPanics)
+{
+    NesterovOptimizer opt(Rect(0, 0, 10, 10), {{1, 1}});
+    EXPECT_THROW(opt.reset({{1, 1}, {2, 2}}), std::logic_error);
+    opt.reset({{5, 5}});
+    EXPECT_THROW(opt.step({{0, 0}, {0, 0}}), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/poisson.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Poisson, UniformDensityGivesZeroField)
+{
+    PoissonSolver solver(32, 32, 1000, 1000);
+    const std::vector<double> rho(32 * 32, 2.5);
+    const auto sol = solver.solve(rho);
+    for (double v : sol.fieldX)
+        EXPECT_NEAR(v, 0.0, 1e-9);
+    for (double v : sol.fieldY)
+        EXPECT_NEAR(v, 0.0, 1e-9);
+    for (double v : sol.potential)
+        EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Poisson, SolutionSatisfiesDiscreteLaplacian)
+{
+    // Verify -laplacian(psi) ~ rho - mean(rho) for a smooth density.
+    const int n = 64;
+    const double size = 1000.0;
+    PoissonSolver solver(n, n, size, size);
+    std::vector<double> rho(n * n);
+    const double h = size / n;
+    for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+            // A smooth cosine bump (satisfies Neumann BCs).
+            rho[y * n + x] =
+                std::cos(std::numbers::pi * (x + 0.5) / n) *
+                std::cos(2 * std::numbers::pi * (y + 0.5) / n);
+        }
+    }
+    const auto sol = solver.solve(rho);
+
+    double max_err = 0.0;
+    for (int y = 1; y + 1 < n; ++y) {
+        for (int x = 1; x + 1 < n; ++x) {
+            const double lap =
+                (sol.potential[y * n + x + 1] +
+                 sol.potential[y * n + x - 1] +
+                 sol.potential[(y + 1) * n + x] +
+                 sol.potential[(y - 1) * n + x] -
+                 4 * sol.potential[y * n + x]) /
+                (h * h);
+            max_err = std::max(max_err,
+                               std::abs(-lap - rho[y * n + x]));
+        }
+    }
+    // Second-order finite-difference agreement with the spectral answer.
+    EXPECT_LT(max_err, 5e-3);
+}
+
+TEST(Poisson, FieldIsNegativeGradientOfPotential)
+{
+    const int n = 64;
+    const double size = 2000.0;
+    PoissonSolver solver(n, n, size, size);
+    std::vector<double> rho(n * n, 0.0);
+    // Central blob.
+    for (int y = 28; y < 36; ++y)
+        for (int x = 28; x < 36; ++x)
+            rho[y * n + x] = 1.0;
+    const auto sol = solver.solve(rho);
+
+    const double h = size / n;
+    double max_err = 0.0;
+    double max_field = 0.0;
+    for (int y = 1; y + 1 < n; ++y) {
+        for (int x = 1; x + 1 < n; ++x) {
+            const double gx = (sol.potential[y * n + x + 1] -
+                               sol.potential[y * n + x - 1]) /
+                              (2 * h);
+            max_err =
+                std::max(max_err, std::abs(sol.fieldX[y * n + x] + gx));
+            max_field =
+                std::max(max_field, std::abs(sol.fieldX[y * n + x]));
+        }
+    }
+    EXPECT_LT(max_err, 0.05 * max_field);
+}
+
+TEST(Poisson, FieldPointsAwayFromCharge)
+{
+    const int n = 32;
+    PoissonSolver solver(n, n, 1000, 1000);
+    std::vector<double> rho(n * n, 0.0);
+    rho[(n / 2) * n + n / 2] = 1.0;
+    const auto sol = solver.solve(rho);
+    // Right of the charge the x-field is positive (repulsive).
+    EXPECT_GT(sol.fieldX[(n / 2) * n + n / 2 + 4], 0.0);
+    EXPECT_LT(sol.fieldX[(n / 2) * n + n / 2 - 4], 0.0);
+    EXPECT_GT(sol.fieldY[(n / 2 + 4) * n + n / 2], 0.0);
+    EXPECT_LT(sol.fieldY[(n / 2 - 4) * n + n / 2], 0.0);
+}
+
+TEST(Poisson, PotentialHighestAtCharge)
+{
+    const int n = 32;
+    PoissonSolver solver(n, n, 1000, 1000);
+    std::vector<double> rho(n * n, 0.0);
+    rho[(n / 2) * n + n / 2] = 1.0;
+    const auto sol = solver.solve(rho);
+    const double center = sol.potential[(n / 2) * n + n / 2];
+    for (double v : sol.potential)
+        EXPECT_LE(v, center + 1e-12);
+}
+
+TEST(Poisson, RejectsBadInputs)
+{
+    EXPECT_THROW(PoissonSolver(12, 32, 100, 100), std::logic_error);
+    PoissonSolver solver(16, 16, 100, 100);
+    EXPECT_THROW(solver.solve(std::vector<double>(10, 0.0)),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

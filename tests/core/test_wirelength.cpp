@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/wirelength.hpp"
+#include "util/rng.hpp"
+
+namespace qplacer {
+namespace {
+
+Netlist
+twoPinNetlist(int n, int nets, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Netlist nl;
+    for (int i = 0; i < n; ++i) {
+        Instance q;
+        q.kind = InstanceKind::Qubit;
+        q.width = 400;
+        q.height = 400;
+        q.pad = 400;
+        nl.addInstance(q);
+    }
+    for (int e = 0; e < nets; ++e) {
+        const int a = static_cast<int>(rng.below(n));
+        int b = static_cast<int>(rng.below(n));
+        while (b == a)
+            b = static_cast<int>(rng.below(n));
+        nl.addNet(a, b, rng.uniform(0.5, 2.0));
+    }
+    nl.setRegion(Rect(0, 0, 10000, 10000));
+    return nl;
+}
+
+std::vector<Vec2>
+randomPositions(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec2> pos(n);
+    for (auto &p : pos)
+        p = Vec2(rng.uniform(0, 10000), rng.uniform(0, 10000));
+    return pos;
+}
+
+TEST(Wirelength, ApproachesHpwlAsGammaShrinks)
+{
+    const Netlist nl = twoPinNetlist(10, 15, 1);
+    const auto pos = randomPositions(10, 2);
+    std::vector<Vec2> grad;
+
+    const WirelengthModel coarse(nl, 500.0);
+    const WirelengthModel fine(nl, 1.0);
+    const double hpwl = coarse.hpwl(pos);
+    // Smooth WL upper-bounds HPWL and tightens as gamma -> 0.
+    const double v_coarse =
+        const_cast<WirelengthModel &>(coarse).evaluate(pos, grad);
+    const double v_fine =
+        const_cast<WirelengthModel &>(fine).evaluate(pos, grad);
+    EXPECT_GE(v_coarse, hpwl);
+    EXPECT_GE(v_fine, hpwl);
+    EXPECT_LT(v_fine - hpwl, v_coarse - hpwl);
+    EXPECT_NEAR(v_fine, hpwl, 0.01 * hpwl + 50.0);
+}
+
+TEST(Wirelength, GradientMatchesFiniteDifference)
+{
+    const Netlist nl = twoPinNetlist(8, 12, 3);
+    WirelengthModel model(nl, 200.0);
+    auto pos = randomPositions(8, 4);
+    std::vector<Vec2> grad;
+    model.evaluate(pos, grad);
+
+    const double h = 1e-4;
+    for (int i = 0; i < 8; ++i) {
+        auto plus = pos;
+        auto minus = pos;
+        plus[i].x += h;
+        minus[i].x -= h;
+        std::vector<Vec2> dummy;
+        const double fd =
+            (model.evaluate(plus, dummy) - model.evaluate(minus, dummy)) /
+            (2 * h);
+        EXPECT_NEAR(grad[i].x, fd, 1e-5 * (1 + std::abs(fd)))
+            << "instance " << i;
+
+        plus = pos;
+        minus = pos;
+        plus[i].y += h;
+        minus[i].y -= h;
+        const double fdy =
+            (model.evaluate(plus, dummy) - model.evaluate(minus, dummy)) /
+            (2 * h);
+        EXPECT_NEAR(grad[i].y, fdy, 1e-5 * (1 + std::abs(fdy)));
+    }
+}
+
+TEST(Wirelength, GradientIsZeroSum)
+{
+    // Wirelength is translation invariant, so gradients sum to zero.
+    const Netlist nl = twoPinNetlist(12, 20, 5);
+    WirelengthModel model(nl, 150.0);
+    const auto pos = randomPositions(12, 6);
+    std::vector<Vec2> grad;
+    model.evaluate(pos, grad);
+    Vec2 sum;
+    for (const Vec2 &g : grad)
+        sum += g;
+    EXPECT_NEAR(sum.x, 0.0, 1e-9);
+    EXPECT_NEAR(sum.y, 0.0, 1e-9);
+}
+
+TEST(Wirelength, CoincidentPinsGiveSmoothMinimum)
+{
+    Netlist nl = twoPinNetlist(2, 0, 7);
+    nl.addNet(0, 1);
+    WirelengthModel model(nl, 100.0);
+    std::vector<Vec2> pos{{500, 500}, {500, 500}};
+    std::vector<Vec2> grad;
+    const double v = model.evaluate(pos, grad);
+    EXPECT_GT(v, 0.0); // smooth overestimate at coincidence
+    EXPECT_NEAR(grad[0].x, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(model.hpwl(pos), 0.0);
+}
+
+TEST(Wirelength, WeightsScaleContribution)
+{
+    Netlist nl;
+    for (int i = 0; i < 2; ++i) {
+        Instance q;
+        q.kind = InstanceKind::Qubit;
+        q.width = q.height = 400;
+        nl.addInstance(q);
+    }
+    nl.addNet(0, 1, 3.0);
+    nl.setRegion(Rect(0, 0, 1000, 1000));
+    WirelengthModel model(nl, 10.0);
+    const std::vector<Vec2> pos{{0, 0}, {500, 0}};
+    EXPECT_NEAR(model.hpwl(pos), 1500.0, 1e-9);
+}
+
+TEST(Wirelength, InvalidGammaIsFatal)
+{
+    const Netlist nl = twoPinNetlist(2, 1, 8);
+    EXPECT_THROW(WirelengthModel(nl, 0.0), std::runtime_error);
+    WirelengthModel model(nl, 1.0);
+    EXPECT_THROW(model.setGamma(-1.0), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

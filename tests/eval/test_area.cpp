@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "eval/area.hpp"
+
+namespace qplacer {
+namespace {
+
+Netlist
+twoQubitLayout(Vec2 a, Vec2 b)
+{
+    Netlist nl;
+    for (int i = 0; i < 2; ++i) {
+        Instance q;
+        q.kind = InstanceKind::Qubit;
+        q.width = q.height = 400;
+        q.pad = 400;
+        nl.addInstance(q);
+    }
+    nl.instance(0).pos = a;
+    nl.instance(1).pos = b;
+    nl.setRegion(Rect(0, 0, 10000, 10000));
+    return nl;
+}
+
+TEST(Area, SingleInstanceIsFullyUtilized)
+{
+    Netlist nl;
+    Instance q;
+    q.kind = InstanceKind::Qubit;
+    q.width = q.height = 400;
+    q.pad = 400;
+    nl.addInstance(q);
+    nl.instance(0).pos = {1000, 1000};
+    nl.setRegion(Rect(0, 0, 2000, 2000));
+    const AreaMetrics m = computeArea(nl);
+    EXPECT_DOUBLE_EQ(m.amerUm2, 640000.0);
+    EXPECT_DOUBLE_EQ(m.apolyUm2, 640000.0);
+    EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Area, EnclosingRectSpansAllInstances)
+{
+    const Netlist nl = twoQubitLayout({1000, 1000}, {5000, 3000});
+    const AreaMetrics m = computeArea(nl);
+    EXPECT_DOUBLE_EQ(m.enclosingRect.lo.x, 600.0);
+    EXPECT_DOUBLE_EQ(m.enclosingRect.hi.x, 5400.0);
+    EXPECT_DOUBLE_EQ(m.enclosingRect.lo.y, 600.0);
+    EXPECT_DOUBLE_EQ(m.enclosingRect.hi.y, 3400.0);
+    EXPECT_DOUBLE_EQ(m.amerUm2, 4800.0 * 2800.0);
+}
+
+TEST(Area, UtilizationIsApolyOverAmer)
+{
+    const Netlist nl = twoQubitLayout({1000, 1000}, {5000, 1000});
+    const AreaMetrics m = computeArea(nl);
+    EXPECT_DOUBLE_EQ(m.apolyUm2, 2 * 640000.0);
+    EXPECT_NEAR(m.utilization, 2 * 640000.0 / (4800.0 * 800.0), 1e-12);
+}
+
+TEST(Area, SpreadingIncreasesAmer)
+{
+    const AreaMetrics tight =
+        computeArea(twoQubitLayout({1000, 1000}, {1800, 1000}));
+    const AreaMetrics loose =
+        computeArea(twoQubitLayout({1000, 1000}, {8000, 1000}));
+    EXPECT_LT(tight.amerUm2, loose.amerUm2);
+    EXPECT_GT(tight.utilization, loose.utilization);
+}
+
+TEST(Area, EmptyNetlistIsFatal)
+{
+    Netlist nl;
+    EXPECT_THROW(computeArea(nl), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

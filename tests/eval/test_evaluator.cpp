@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "circuits/benchmarks.hpp"
+#include "pipeline/flow.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+class EvaluatorTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        topo_ = new Topology(makeTopology("Grid"));
+        qplacer_ = new FlowResult(
+            QplacerFlow::runMode(*topo_, PlacerMode::Qplacer));
+        classic_ = new FlowResult(
+            QplacerFlow::runMode(*topo_, PlacerMode::Classic));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete topo_;
+        delete qplacer_;
+        delete classic_;
+    }
+
+    static Topology *topo_;
+    static FlowResult *qplacer_;
+    static FlowResult *classic_;
+};
+
+Topology *EvaluatorTest::topo_ = nullptr;
+FlowResult *EvaluatorTest::qplacer_ = nullptr;
+FlowResult *EvaluatorTest::classic_ = nullptr;
+
+TEST_F(EvaluatorTest, FidelityInUnitInterval)
+{
+    EvaluatorParams params;
+    params.numSubsets = 10;
+    const Evaluator evaluator(params);
+    const BenchmarkResult r = evaluator.evaluate(
+        *topo_, qplacer_->netlist, makeBenchmark("bv-4"));
+    EXPECT_EQ(r.perSubset.size(), 10u);
+    for (double f : r.perSubset) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    }
+    EXPECT_LE(r.minFidelity, r.meanFidelity);
+    EXPECT_GE(r.maxFidelity, r.meanFidelity);
+}
+
+TEST_F(EvaluatorTest, QplacerBeatsClassic)
+{
+    // The paper's headline (Fig. 11): the frequency-aware layout keeps
+    // fidelity high while the frequency-blind one collapses.
+    EvaluatorParams params;
+    params.numSubsets = 20;
+    const Evaluator evaluator(params);
+    const Circuit bv = makeBenchmark("bv-4");
+    const double f_qplacer =
+        evaluator.evaluate(*topo_, qplacer_->netlist, bv).meanFidelity;
+    const double f_classic =
+        evaluator.evaluate(*topo_, classic_->netlist, bv).meanFidelity;
+    EXPECT_GT(f_qplacer, 3.0 * f_classic);
+}
+
+TEST_F(EvaluatorTest, DeterministicAcrossRuns)
+{
+    EvaluatorParams params;
+    params.numSubsets = 5;
+    const Evaluator evaluator(params);
+    const Circuit bv = makeBenchmark("bv-4");
+    const auto a = evaluator.evaluate(*topo_, qplacer_->netlist, bv);
+    const auto b = evaluator.evaluate(*topo_, qplacer_->netlist, bv);
+    EXPECT_EQ(a.perSubset, b.perSubset);
+}
+
+TEST_F(EvaluatorTest, BenchmarkLargerThanDeviceIsFatal)
+{
+    const Evaluator evaluator;
+    Circuit huge(26, "huge");
+    huge.add2q(GateKind::CX, 0, 1);
+    EXPECT_THROW(
+        evaluator.evaluate(*topo_, qplacer_->netlist, huge),
+        std::runtime_error);
+}
+
+TEST_F(EvaluatorTest, SwapsReportedForSparseTopologies)
+{
+    EvaluatorParams params;
+    params.numSubsets = 10;
+    const Evaluator evaluator(params);
+    const BenchmarkResult r = evaluator.evaluate(
+        *topo_, qplacer_->netlist, makeBenchmark("bv-9"));
+    EXPECT_GE(r.meanSwaps, 0);
+}
+
+} // namespace
+} // namespace qplacer

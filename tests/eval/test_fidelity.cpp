@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/mapper.hpp"
+#include "circuits/scheduler.hpp"
+#include "circuits/subsets.hpp"
+#include "eval/fidelity.hpp"
+#include "freq/assigner.hpp"
+#include "netlist/builder.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+struct Harness
+{
+    Topology topo = makeTopology("Grid");
+    Netlist nl;
+    MappedCircuit mapped;
+    Schedule schedule;
+
+    explicit Harness(const char *bench = "bv-4")
+    {
+        const auto freqs = FrequencyAssigner().assign(topo);
+        nl = NetlistBuilder().build(topo, freqs);
+        const Circuit circuit = makeBenchmark(bench);
+        const auto subset = sampleConnectedSubset(
+            topo.coupling, circuit.numQubits(), 3);
+        mapped = Mapper(topo.coupling).map(circuit, subset);
+        schedule = scheduleAsap(mapped, topo.coupling);
+    }
+};
+
+TEST(Fidelity, CleanLayoutDominatedByGatesAndDecoherence)
+{
+    Harness s;
+    const HotspotReport no_hotspots; // empty
+    const FidelityModel model;
+    const FidelityBreakdown fb =
+        model.evaluate(s.nl, no_hotspots, s.mapped, s.schedule);
+    EXPECT_DOUBLE_EQ(fb.qubitCrosstalk, 1.0);
+    EXPECT_DOUBLE_EQ(fb.resonatorCrosstalk, 1.0);
+    EXPECT_LT(fb.gateFidelity, 1.0);
+    EXPECT_LT(fb.decoherenceFidelity, 1.0);
+    EXPECT_GT(fb.total, 0.3); // bv-4 is shallow
+    EXPECT_NEAR(fb.total,
+                fb.gateFidelity * fb.decoherenceFidelity, 1e-12);
+}
+
+TEST(Fidelity, ActiveViolationCrushesFidelity)
+{
+    Harness s;
+    // Fabricate a violation between two active qubits, resonant and
+    // adjacent.
+    const int a = s.mapped.activeQubits[0];
+    const int b = s.mapped.activeQubits[1];
+    s.nl.instance(a).freqHz = 5.0e9;
+    s.nl.instance(b).freqHz = 5.0e9;
+    s.nl.instance(a).pos = {2000, 2000};
+    s.nl.instance(b).pos = {2800, 2000};
+
+    HotspotReport hs;
+    HotspotPair pair;
+    pair.a = a;
+    pair.b = b;
+    pair.distUm = 800.0;
+    pair.gapUm = 0.0;
+    pair.overlapLenUm = 800.0;
+    hs.pairs.push_back(pair);
+
+    const FidelityModel model;
+    const FidelityBreakdown with_violation =
+        model.evaluate(s.nl, hs, s.mapped, s.schedule);
+    const FidelityBreakdown clean =
+        model.evaluate(s.nl, HotspotReport{}, s.mapped, s.schedule);
+    EXPECT_LT(with_violation.qubitCrosstalk, 0.1);
+    EXPECT_LT(with_violation.total, 0.05 * clean.total);
+    EXPECT_EQ(with_violation.violatedQubitPairs, 1);
+}
+
+TEST(Fidelity, InactiveViolationsAreFree)
+{
+    Harness s;
+    // A violation between two qubits the program never touches.
+    int a = -1;
+    int b = -1;
+    std::vector<char> active(s.topo.numQubits(), 0);
+    for (int q : s.mapped.activeQubits)
+        active[q] = 1;
+    for (int q = 0; q < s.topo.numQubits() && b < 0; ++q) {
+        if (!active[q]) {
+            (a < 0 ? a : b) = q;
+        }
+    }
+    ASSERT_GE(b, 0);
+    HotspotReport hs;
+    HotspotPair pair;
+    pair.a = a;
+    pair.b = b;
+    pair.distUm = 800.0;
+    pair.overlapLenUm = 800.0;
+    hs.pairs.push_back(pair);
+
+    const FidelityModel model;
+    const FidelityBreakdown fb =
+        model.evaluate(s.nl, hs, s.mapped, s.schedule);
+    EXPECT_DOUBLE_EQ(fb.qubitCrosstalk, 1.0);
+    EXPECT_EQ(fb.violatedQubitPairs, 0);
+}
+
+TEST(Fidelity, ResonatorViolationsDedupedPerPair)
+{
+    Harness s("ising-4");
+    // Find an active resonator.
+    int active_res = -1;
+    for (const Resonator &res : s.nl.resonators()) {
+        if (s.schedule.edgeBusyS[res.edge] > 0.0 &&
+            res.segments.size() >= 2) {
+            active_res = res.id;
+            break;
+        }
+    }
+    ASSERT_GE(active_res, 0);
+    // Another resonator at the same frequency.
+    int other = (active_res + 1) %
+                static_cast<int>(s.nl.resonators().size());
+
+    HotspotReport hs;
+    // Two segment pairs witnessing the same resonator pair.
+    for (int k = 0; k < 2; ++k) {
+        HotspotPair pair;
+        pair.a = s.nl.resonator(active_res).segments[k];
+        pair.b = s.nl.resonator(other).segments[0];
+        pair.distUm = 400.0;
+        pair.overlapLenUm = 400.0;
+        hs.pairs.push_back(pair);
+    }
+    const FidelityModel model;
+    const FidelityBreakdown fb =
+        model.evaluate(s.nl, hs, s.mapped, s.schedule);
+    EXPECT_EQ(fb.violatedResonatorPairs, 1);
+}
+
+TEST(Fidelity, DeeperCircuitsLoseMoreFidelity)
+{
+    Harness shallow("bv-4");
+    Harness deep("qaoa-9");
+    const FidelityModel model;
+    const double f_shallow =
+        model
+            .evaluate(shallow.nl, HotspotReport{}, shallow.mapped,
+                      shallow.schedule)
+            .total;
+    const double f_deep =
+        model.evaluate(deep.nl, HotspotReport{}, deep.mapped,
+                       deep.schedule)
+            .total;
+    EXPECT_GT(f_shallow, f_deep);
+}
+
+TEST(Fidelity, CrosstalkCapKeepsFidelityPositive)
+{
+    Harness s;
+    HotspotReport hs;
+    // Pile up many fake violations among active qubits.
+    for (std::size_t i = 0; i + 1 < s.mapped.activeQubits.size(); ++i) {
+        HotspotPair pair;
+        pair.a = s.mapped.activeQubits[i];
+        pair.b = s.mapped.activeQubits[i + 1];
+        s.nl.instance(pair.a).freqHz = 5.0e9;
+        s.nl.instance(pair.b).freqHz = 5.0e9;
+        pair.distUm = 800.0;
+        pair.overlapLenUm = 800.0;
+        hs.pairs.push_back(pair);
+    }
+    const FidelityModel model;
+    const FidelityBreakdown fb =
+        model.evaluate(s.nl, hs, s.mapped, s.schedule);
+    EXPECT_GT(fb.total, 0.0);
+}
+
+} // namespace
+} // namespace qplacer

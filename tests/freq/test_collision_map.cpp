@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "freq/collision_map.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(CollisionMap, DetectsNearResonantPairs)
+{
+    const std::vector<double> freqs{5.00e9, 5.05e9, 5.30e9};
+    const std::vector<int> group{-1, -1, -1};
+    const CollisionMap map(freqs, group);
+    EXPECT_TRUE(map.collides(0, 1));
+    EXPECT_FALSE(map.collides(0, 2));
+    EXPECT_FALSE(map.collides(1, 2));
+    EXPECT_EQ(map.numPairs(), 1u);
+}
+
+TEST(CollisionMap, ThresholdIsStrict)
+{
+    const std::vector<double> freqs{5.0e9, 5.1e9};
+    const CollisionMap map(freqs, {-1, -1});
+    EXPECT_FALSE(map.collides(0, 1)); // exactly Delta_c apart
+}
+
+TEST(CollisionMap, SameResonatorExcluded)
+{
+    // Eq. 10's (1 - delta) term: segments of one resonator never repel.
+    const std::vector<double> freqs{6.5e9, 6.5e9, 6.5e9};
+    const std::vector<int> group{3, 3, 7};
+    const CollisionMap map(freqs, group);
+    EXPECT_FALSE(map.collides(0, 1)); // same resonator
+    EXPECT_TRUE(map.collides(0, 2));
+    EXPECT_TRUE(map.collides(1, 2));
+    EXPECT_EQ(map.numPairs(), 2u);
+}
+
+TEST(CollisionMap, SymmetricLists)
+{
+    const std::vector<double> freqs{5.0e9, 5.01e9, 5.02e9};
+    const CollisionMap map(freqs, {-1, -1, -1});
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::int32_t j : map.partners(i))
+            EXPECT_TRUE(map.collides(static_cast<std::size_t>(j), i));
+    }
+    EXPECT_EQ(map.numPairs(), 3u); // all three mutually resonant
+}
+
+TEST(CollisionMap, QubitAndResonatorBandsNeverCollide)
+{
+    const std::vector<double> freqs{5.2e9, 6.0e9};
+    const CollisionMap map(freqs, {-1, 0});
+    EXPECT_EQ(map.numPairs(), 0u);
+}
+
+TEST(CollisionMap, CustomThreshold)
+{
+    const std::vector<double> freqs{5.0e9, 5.3e9};
+    const CollisionMap wide(freqs, {-1, -1}, 0.5e9);
+    EXPECT_TRUE(wide.collides(0, 1));
+    const CollisionMap narrow(freqs, {-1, -1}, 0.2e9);
+    EXPECT_FALSE(narrow.collides(0, 1));
+}
+
+TEST(CollisionMap, SizeMismatchPanics)
+{
+    EXPECT_THROW(CollisionMap({5.0e9}, {-1, -1}), std::logic_error);
+}
+
+TEST(CollisionMap, LargeSlotGroups)
+{
+    // 30 instances on 3 slots: pairs only within slots.
+    std::vector<double> freqs;
+    std::vector<int> group;
+    for (int i = 0; i < 30; ++i) {
+        freqs.push_back(5.0e9 + (i % 3) * 0.15e9);
+        group.push_back(-1);
+    }
+    const CollisionMap map(freqs, group);
+    // Each slot has 10 members -> C(10,2)=45 pairs per slot.
+    EXPECT_EQ(map.numPairs(), 3u * 45u);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "geometry/rect.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Rect, BasicProperties)
+{
+    const Rect r(0, 0, 4, 2);
+    EXPECT_DOUBLE_EQ(r.width(), 4.0);
+    EXPECT_DOUBLE_EQ(r.height(), 2.0);
+    EXPECT_DOUBLE_EQ(r.area(), 8.0);
+    EXPECT_EQ(r.center(), Vec2(2, 1));
+    EXPECT_FALSE(r.empty());
+    EXPECT_TRUE(Rect(1, 1, 1, 5).empty());
+}
+
+TEST(Rect, FromCenter)
+{
+    const Rect r = Rect::fromCenter({5, 5}, 4, 2);
+    EXPECT_EQ(r.lo, Vec2(3, 4));
+    EXPECT_EQ(r.hi, Vec2(7, 6));
+}
+
+TEST(Rect, Contains)
+{
+    const Rect r(0, 0, 2, 2);
+    EXPECT_TRUE(r.contains({1, 1}));
+    EXPECT_TRUE(r.contains({0, 0}));   // closed on lo
+    EXPECT_FALSE(r.contains({2, 2}));  // open on hi
+    EXPECT_FALSE(r.contains({-1, 1}));
+    EXPECT_TRUE(r.containsRect(Rect(0.5, 0.5, 1.5, 1.5)));
+    EXPECT_FALSE(r.containsRect(Rect(1, 1, 3, 1.5)));
+}
+
+TEST(Rect, OverlapAndIntersection)
+{
+    const Rect a(0, 0, 2, 2);
+    const Rect b(1, 1, 3, 3);
+    const Rect c(5, 5, 6, 6);
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_DOUBLE_EQ(a.overlapArea(b), 1.0);
+    EXPECT_DOUBLE_EQ(a.overlapArea(c), 0.0);
+    const Rect i = a.intersect(b);
+    EXPECT_EQ(i.lo, Vec2(1, 1));
+    EXPECT_EQ(i.hi, Vec2(2, 2));
+}
+
+TEST(Rect, TouchingIsNotOverlapping)
+{
+    const Rect a(0, 0, 1, 1);
+    const Rect b(1, 0, 2, 1);
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_DOUBLE_EQ(a.gap(b), 0.0);
+}
+
+TEST(Rect, OverlapLength)
+{
+    // Side-by-side, sharing a unit edge: the shared boundary is 1 long.
+    const Rect a(0, 0, 1, 1);
+    const Rect b(1, 0, 2, 1);
+    EXPECT_DOUBLE_EQ(a.overlapLength(b), 1.0);
+    // Disjoint -> 0.
+    EXPECT_DOUBLE_EQ(a.overlapLength(Rect(3, 3, 4, 4)), 0.0);
+    // Overlapping: the longer side of the intersection.
+    EXPECT_DOUBLE_EQ(Rect(0, 0, 4, 4).overlapLength(Rect(2, 1, 6, 2)),
+                     2.0);
+}
+
+TEST(Rect, Gap)
+{
+    const Rect a(0, 0, 1, 1);
+    EXPECT_DOUBLE_EQ(a.gap(Rect(3, 0, 4, 1)), 2.0);
+    EXPECT_DOUBLE_EQ(a.gap(Rect(0, 4, 1, 5)), 3.0);
+    // Diagonal separation is Euclidean.
+    EXPECT_DOUBLE_EQ(a.gap(Rect(4, 5, 5, 6)), 5.0);
+    // Overlapping -> 0.
+    EXPECT_DOUBLE_EQ(a.gap(Rect(0.5, 0.5, 2, 2)), 0.0);
+}
+
+TEST(Rect, InflateAndTranslate)
+{
+    const Rect r(1, 1, 2, 2);
+    const Rect big = r.inflated(0.5);
+    EXPECT_EQ(big.lo, Vec2(0.5, 0.5));
+    EXPECT_EQ(big.hi, Vec2(2.5, 2.5));
+    const Rect moved = r.translated({1, -1});
+    EXPECT_EQ(moved.lo, Vec2(2, 0));
+}
+
+TEST(Rect, UnionAndBoundingBox)
+{
+    const Rect a(0, 0, 1, 1);
+    const Rect b(2, 3, 4, 5);
+    const Rect u = a.unionWith(b);
+    EXPECT_EQ(u.lo, Vec2(0, 0));
+    EXPECT_EQ(u.hi, Vec2(4, 5));
+
+    const Rect bb = boundingBox({a, b, Rect(-1, -1, 0, 0)});
+    EXPECT_EQ(bb.lo, Vec2(-1, -1));
+    EXPECT_EQ(bb.hi, Vec2(4, 5));
+    EXPECT_THROW(boundingBox({}), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

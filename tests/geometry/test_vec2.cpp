@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "geometry/vec2.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Vec2, Arithmetic)
+{
+    const Vec2 a(1, 2);
+    const Vec2 b(3, -1);
+    EXPECT_EQ(a + b, Vec2(4, 1));
+    EXPECT_EQ(a - b, Vec2(-2, 3));
+    EXPECT_EQ(a * 2.0, Vec2(2, 4));
+    EXPECT_EQ(2.0 * a, Vec2(2, 4));
+    EXPECT_EQ(b / 2.0, Vec2(1.5, -0.5));
+}
+
+TEST(Vec2, CompoundAssignment)
+{
+    Vec2 v(1, 1);
+    v += Vec2(2, 3);
+    EXPECT_EQ(v, Vec2(3, 4));
+    v -= Vec2(1, 1);
+    EXPECT_EQ(v, Vec2(2, 3));
+}
+
+TEST(Vec2, Norms)
+{
+    const Vec2 v(3, 4);
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.normSq(), 25.0);
+}
+
+TEST(Vec2, DotAndDistances)
+{
+    const Vec2 a(1, 0);
+    const Vec2 b(0, 1);
+    EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+    EXPECT_DOUBLE_EQ(a.dist(b), std::sqrt(2.0));
+    EXPECT_DOUBLE_EQ(a.manhattan(b), 2.0);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "legal/flow_refine.hpp"
+#include "util/rng.hpp"
+
+namespace qplacer {
+namespace {
+
+double
+totalCost(const std::vector<Vec2> &desired, const std::vector<Vec2> &sites,
+          const std::vector<int> &assign)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < desired.size(); ++i)
+        acc += desired[i].manhattan(sites[assign[i]]);
+    return acc;
+}
+
+TEST(FlowRefine, IdentityWhenAlreadyOptimal)
+{
+    const std::vector<Vec2> desired{{0, 0}, {100, 0}, {200, 0}};
+    const auto assign = refineAssignment(desired, desired);
+    for (std::size_t i = 0; i < desired.size(); ++i)
+        EXPECT_EQ(assign[i], static_cast<int>(i));
+}
+
+TEST(FlowRefine, FixesSwappedAssignment)
+{
+    const std::vector<Vec2> desired{{0, 0}, {1000, 0}};
+    const std::vector<Vec2> sites{{1000, 0}, {0, 0}};
+    const auto assign = refineAssignment(desired, sites);
+    EXPECT_EQ(assign[0], 1);
+    EXPECT_EQ(assign[1], 0);
+}
+
+TEST(FlowRefine, ResultIsAPermutation)
+{
+    Rng rng(21);
+    std::vector<Vec2> desired;
+    std::vector<Vec2> sites;
+    for (int i = 0; i < 20; ++i) {
+        desired.emplace_back(rng.uniform(0, 5000), rng.uniform(0, 5000));
+        sites.emplace_back(rng.uniform(0, 5000), rng.uniform(0, 5000));
+    }
+    const auto assign = refineAssignment(desired, sites);
+    std::set<int> unique(assign.begin(), assign.end());
+    EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(FlowRefine, BeatsRandomAssignments)
+{
+    Rng rng(22);
+    std::vector<Vec2> desired;
+    std::vector<Vec2> sites;
+    for (int i = 0; i < 12; ++i) {
+        desired.emplace_back(rng.uniform(0, 3000), rng.uniform(0, 3000));
+        sites.emplace_back(rng.uniform(0, 3000), rng.uniform(0, 3000));
+    }
+    const auto optimal = refineAssignment(desired, sites);
+    const double best = totalCost(desired, sites, optimal);
+    std::vector<int> perm(12);
+    for (int i = 0; i < 12; ++i)
+        perm[i] = i;
+    for (int trial = 0; trial < 50; ++trial) {
+        rng.shuffle(perm);
+        EXPECT_LE(best, totalCost(desired, sites, perm) + 1e-9);
+    }
+}
+
+TEST(FlowRefine, EmptyInput)
+{
+    EXPECT_TRUE(refineAssignment({}, {}).empty());
+}
+
+TEST(FlowRefine, SizeMismatchPanics)
+{
+    EXPECT_THROW(refineAssignment({{0, 0}}, {}), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

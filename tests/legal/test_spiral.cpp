@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "legal/spiral.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Spiral, FindsDesiredWhenFree)
+{
+    OccupancyGrid grid(Rect(0, 0, 1000, 1000), 100);
+    const auto spot = spiralSearch(grid, {500, 500}, 200, 200);
+    ASSERT_TRUE(spot.has_value());
+    EXPECT_NEAR(spot->x, 500.0, 1e-9);
+    EXPECT_NEAR(spot->y, 500.0, 1e-9);
+}
+
+TEST(Spiral, FindsNearbyWhenBlocked)
+{
+    OccupancyGrid grid(Rect(0, 0, 1000, 1000), 100);
+    grid.occupy(Rect(400, 400, 600, 600), 1);
+    const auto spot = spiralSearch(grid, {500, 500}, 200, 200);
+    ASSERT_TRUE(spot.has_value());
+    EXPECT_TRUE(grid.canPlace(Rect::fromCenter(*spot, 200, 200)));
+    // The found slot abuts the blocker (ring radius 2 cells).
+    EXPECT_LE(spot->dist({500, 500}), 300.0);
+}
+
+TEST(Spiral, ReturnsNulloptWhenFull)
+{
+    OccupancyGrid grid(Rect(0, 0, 400, 400), 100);
+    grid.occupy(Rect(0, 0, 400, 400), 1);
+    EXPECT_FALSE(spiralSearch(grid, {200, 200}, 200, 200).has_value());
+}
+
+TEST(Spiral, RespectsMaxRadius)
+{
+    OccupancyGrid grid(Rect(0, 0, 2000, 2000), 100);
+    grid.occupy(Rect(0, 0, 1200, 2000), 1); // left half + a bit
+    // Desired deep inside the blocked zone, tiny search radius.
+    EXPECT_FALSE(
+        spiralSearch(grid, {200, 1000}, 200, 200, 3).has_value());
+    EXPECT_TRUE(
+        spiralSearch(grid, {200, 1000}, 200, 200, 15).has_value());
+}
+
+TEST(Spiral, FilteredSearchSkipsRejectedSlots)
+{
+    OccupancyGrid grid(Rect(0, 0, 1000, 1000), 100);
+    // Accept only slots in the right half.
+    const auto spot = spiralSearchFiltered(
+        grid, {200, 500}, 200, 200,
+        [](Vec2 c) { return c.x >= 600.0; });
+    ASSERT_TRUE(spot.has_value());
+    EXPECT_GE(spot->x, 600.0);
+}
+
+TEST(Spiral, FilteredSearchCanFail)
+{
+    OccupancyGrid grid(Rect(0, 0, 1000, 1000), 100);
+    EXPECT_FALSE(spiralSearchFiltered(grid, {500, 500}, 200, 200,
+                                      [](Vec2) { return false; })
+                     .has_value());
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "math/min_cost_flow.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(MinCostFlow, SimplePath)
+{
+    MinCostFlow flow(3);
+    flow.addEdge(0, 1, 5, 2);
+    flow.addEdge(1, 2, 3, 1);
+    const auto r = flow.solve(0, 2);
+    EXPECT_EQ(r.flow, 3);
+    EXPECT_EQ(r.cost, 3 * 3);
+}
+
+TEST(MinCostFlow, PrefersCheaperParallelEdge)
+{
+    MinCostFlow flow(2);
+    const int cheap = flow.addEdge(0, 1, 2, 1);
+    const int costly = flow.addEdge(0, 1, 2, 10);
+    const auto r = flow.solve(0, 1, 3);
+    EXPECT_EQ(r.flow, 3);
+    EXPECT_EQ(r.cost, 2 * 1 + 1 * 10);
+    EXPECT_EQ(flow.flowOn(cheap), 2);
+    EXPECT_EQ(flow.flowOn(costly), 1);
+}
+
+TEST(MinCostFlow, AssignmentProblem)
+{
+    // 2 workers, 2 jobs: optimal assignment picks the off-diagonal.
+    // cost(w0,j0)=9, cost(w0,j1)=1, cost(w1,j0)=2, cost(w1,j1)=8.
+    MinCostFlow flow(6);
+    const int s = 4;
+    const int t = 5;
+    flow.addEdge(s, 0, 1, 0);
+    flow.addEdge(s, 1, 1, 0);
+    flow.addEdge(2, t, 1, 0);
+    flow.addEdge(3, t, 1, 0);
+    const int e00 = flow.addEdge(0, 2, 1, 9);
+    const int e01 = flow.addEdge(0, 3, 1, 1);
+    const int e10 = flow.addEdge(1, 2, 1, 2);
+    const int e11 = flow.addEdge(1, 3, 1, 8);
+    const auto r = flow.solve(s, t);
+    EXPECT_EQ(r.flow, 2);
+    EXPECT_EQ(r.cost, 3);
+    EXPECT_EQ(flow.flowOn(e01), 1);
+    EXPECT_EQ(flow.flowOn(e10), 1);
+    EXPECT_EQ(flow.flowOn(e00), 0);
+    EXPECT_EQ(flow.flowOn(e11), 0);
+}
+
+TEST(MinCostFlow, RespectsMaxFlow)
+{
+    MinCostFlow flow(2);
+    flow.addEdge(0, 1, 100, 1);
+    const auto r = flow.solve(0, 1, 7);
+    EXPECT_EQ(r.flow, 7);
+    EXPECT_EQ(r.cost, 7);
+}
+
+TEST(MinCostFlow, DisconnectedGivesZeroFlow)
+{
+    MinCostFlow flow(4);
+    flow.addEdge(0, 1, 1, 1);
+    flow.addEdge(2, 3, 1, 1);
+    const auto r = flow.solve(0, 3);
+    EXPECT_EQ(r.flow, 0);
+    EXPECT_EQ(r.cost, 0);
+}
+
+TEST(MinCostFlow, NegativeCostPanics)
+{
+    MinCostFlow flow(2);
+    EXPECT_THROW(flow.addEdge(0, 1, 1, -5), std::logic_error);
+}
+
+TEST(MinCostFlow, BadNodePanics)
+{
+    MinCostFlow flow(2);
+    EXPECT_THROW(flow.addEdge(0, 7, 1, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

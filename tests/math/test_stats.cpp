@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({8.0}), 8.0, 1e-12);
+    EXPECT_THROW(geomean({1.0, 0.0}), std::runtime_error);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, 1.0, 2.0}), 3.0);
+    EXPECT_THROW(minOf({}), std::runtime_error);
+    EXPECT_THROW(maxOf({}), std::runtime_error);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_THROW(median({}), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "math/union_find.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons)
+{
+    UnionFind uf(5);
+    EXPECT_EQ(uf.numSets(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(uf.setSize(i), 1u);
+    EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, UniteMergesAndCounts)
+{
+    UnionFind uf(4);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_EQ(uf.numSets(), 2u);
+    EXPECT_TRUE(uf.connected(0, 1));
+    EXPECT_FALSE(uf.connected(0, 2));
+    EXPECT_TRUE(uf.unite(1, 3));
+    EXPECT_EQ(uf.numSets(), 1u);
+    EXPECT_TRUE(uf.connected(0, 2));
+    EXPECT_EQ(uf.setSize(3), 4u);
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse)
+{
+    UnionFind uf(3);
+    uf.unite(0, 1);
+    EXPECT_FALSE(uf.unite(1, 0));
+    EXPECT_EQ(uf.numSets(), 2u);
+}
+
+TEST(UnionFind, ChainCompresses)
+{
+    UnionFind uf(100);
+    for (std::size_t i = 0; i + 1 < 100; ++i)
+        uf.unite(i, i + 1);
+    EXPECT_EQ(uf.numSets(), 1u);
+    EXPECT_EQ(uf.setSize(0), 100u);
+    EXPECT_TRUE(uf.connected(0, 99));
+}
+
+} // namespace
+} // namespace qplacer

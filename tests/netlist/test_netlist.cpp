@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+namespace {
+
+Instance
+makeQubit(double freq = 5.0e9, int qubit_id = 0)
+{
+    Instance q;
+    q.kind = InstanceKind::Qubit;
+    q.qubit = qubit_id;
+    q.width = 400;
+    q.height = 400;
+    q.pad = 400;
+    q.freqHz = freq;
+    return q;
+}
+
+Instance
+makeSegment(int resonator, int ordinal, double freq = 6.5e9)
+{
+    Instance s;
+    s.kind = InstanceKind::ResonatorSegment;
+    s.resonator = resonator;
+    s.segment = ordinal;
+    s.width = 300;
+    s.height = 300;
+    s.pad = 100;
+    s.freqHz = freq;
+    return s;
+}
+
+TEST(Instance, SharedPaddingSemantics)
+{
+    const Instance q = makeQubit();
+    // pad/2 per side: 400 + 400 = 800 wide; touching footprints leave
+    // the d_q = 400 um bare gap.
+    EXPECT_DOUBLE_EQ(q.paddedWidth(), 800.0);
+    EXPECT_DOUBLE_EQ(q.paddedArea(), 640000.0);
+
+    const Instance s = makeSegment(0, 0);
+    EXPECT_DOUBLE_EQ(s.paddedWidth(), 400.0);
+}
+
+TEST(Instance, RectsFollowPosition)
+{
+    Instance q = makeQubit();
+    q.pos = {1000, 2000};
+    EXPECT_EQ(q.rect().center(), Vec2(1000, 2000));
+    EXPECT_DOUBLE_EQ(q.rect().width(), 400.0);
+    EXPECT_DOUBLE_EQ(q.paddedRect().width(), 800.0);
+}
+
+TEST(Netlist, BuildsAndValidates)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit(5.0e9, 0));
+    nl.addInstance(makeQubit(5.1e9, 1));
+    Resonator res;
+    res.qubitA = 0;
+    res.qubitB = 1;
+    res.freqHz = 6.5e9;
+    res.segments.push_back(nl.addInstance(makeSegment(0, 0)));
+    res.segments.push_back(nl.addInstance(makeSegment(0, 1)));
+    nl.addResonator(res);
+    nl.addNet(0, 2);
+    nl.addNet(2, 3);
+    nl.addNet(3, 1);
+    nl.sizeRegion(0.7);
+
+    EXPECT_EQ(nl.numQubits(), 2);
+    EXPECT_EQ(nl.numInstances(), 4);
+    EXPECT_NO_THROW(nl.validate());
+    EXPECT_EQ(nl.qubitInstance(0), 0);
+}
+
+TEST(Netlist, QubitsMustComeFirst)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    nl.addInstance(makeSegment(0, 0));
+    EXPECT_THROW(nl.addInstance(makeQubit()), std::logic_error);
+}
+
+TEST(Netlist, RegionSizing)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    nl.sizeRegion(0.5);
+    // One 800x800 padded qubit at 50% utilization.
+    EXPECT_NEAR(nl.region().area(), 640000.0 / 0.5, 1.0);
+    EXPECT_THROW(nl.sizeRegion(0.0), std::runtime_error);
+    EXPECT_THROW(nl.sizeRegion(1.5), std::runtime_error);
+}
+
+TEST(Netlist, TotalPaddedArea)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    nl.addInstance(makeQubit());
+    EXPECT_DOUBLE_EQ(nl.totalPaddedArea(), 2 * 640000.0);
+}
+
+TEST(Netlist, FrequencyAndGroupViews)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit(4.9e9));
+    nl.addInstance(makeSegment(2, 0, 6.1e9));
+    EXPECT_EQ(nl.frequencies(), (std::vector<double>{4.9e9, 6.1e9}));
+    EXPECT_EQ(nl.resonatorGroups(), (std::vector<int>{-1, 2}));
+}
+
+TEST(Netlist, ClampIntoRegion)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    nl.setRegion(Rect(0, 0, 2000, 2000));
+    nl.instance(0).pos = {-500, 5000};
+    nl.clampIntoRegion();
+    const Rect fp = nl.instance(0).paddedRect();
+    EXPECT_GE(fp.lo.x, 0.0);
+    EXPECT_LE(fp.hi.y, 2000.0);
+}
+
+TEST(Netlist, DegenerateNetPanics)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    EXPECT_THROW(nl.addNet(0, 0), std::logic_error);
+    EXPECT_THROW(nl.addNet(0, 5), std::logic_error);
+}
+
+TEST(Netlist, BrokenSegmentChainFailsValidation)
+{
+    Netlist nl;
+    nl.addInstance(makeQubit());
+    Resonator res;
+    res.qubitA = 0;
+    res.qubitB = 0;
+    res.segments.push_back(nl.addInstance(makeSegment(0, 1))); // bad ord
+    nl.addResonator(res);
+    EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/partition.hpp"
+#include "physics/resonator.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Partition, CeilOfAreaOverBlock)
+{
+    PartitionParams p;
+    p.segmentUm = 300.0;
+    p.wireWidthUm = 100.0;
+    // 10 mm x 100 um = 1 mm^2; blocks of 0.09 mm^2 -> ceil(11.1) = 12.
+    EXPECT_EQ(segmentCount(10000.0, p), 12);
+}
+
+TEST(Partition, ExactDivisionHasNoExtraBlock)
+{
+    PartitionParams p;
+    p.segmentUm = 100.0;
+    p.wireWidthUm = 100.0;
+    EXPECT_EQ(segmentCount(500.0, p), 5);
+}
+
+TEST(Partition, AtLeastOneSegment)
+{
+    PartitionParams p;
+    p.segmentUm = 5000.0;
+    EXPECT_EQ(segmentCount(100.0, p), 1);
+}
+
+TEST(Partition, InvalidInputsFatal)
+{
+    PartitionParams p;
+    EXPECT_THROW(segmentCount(0.0, p), std::runtime_error);
+    p.segmentUm = -1.0;
+    EXPECT_THROW(segmentCount(100.0, p), std::runtime_error);
+}
+
+class SegmentCountsPerLb
+    : public ::testing::TestWithParam<std::pair<double, std::pair<int, int>>>
+{
+};
+
+TEST_P(SegmentCountsPerLb, PaperBandSegmentRange)
+{
+    // Table II consistency: per-resonator segment counts for the paper's
+    // frequency band at each block size l_b.
+    const auto [lb, range] = GetParam();
+    PartitionParams p;
+    p.segmentUm = lb;
+    const int hi_f = segmentCount(resonatorLengthUm(7.0e9), p);
+    const int lo_f = segmentCount(resonatorLengthUm(6.0e9), p);
+    EXPECT_EQ(hi_f, range.first);  // shortest resonator
+    EXPECT_EQ(lo_f, range.second); // longest resonator
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, SegmentCountsPerLb,
+    ::testing::Values(std::make_pair(200.0, std::make_pair(24, 28)),
+                      std::make_pair(300.0, std::make_pair(11, 13)),
+                      std::make_pair(400.0, std::make_pair(6, 7))));
+
+} // namespace
+} // namespace qplacer

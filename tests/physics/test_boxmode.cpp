@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "physics/boxmode.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(BoxMode, MatchesPaperReferencePoints)
+{
+    // Section III-C: TM110 drops from 12.41 GHz (5x5 mm^2) to 6.20 GHz
+    // (10x10 mm^2).
+    EXPECT_NEAR(tm110FrequencyHz(5000.0, 5000.0) / 1e9, 12.41, 0.03);
+    EXPECT_NEAR(tm110FrequencyHz(10000.0, 10000.0) / 1e9, 6.20, 0.015);
+}
+
+TEST(BoxMode, LargerSubstrateLowerMode)
+{
+    double prev = tm110FrequencyHz(4000.0, 4000.0);
+    for (double side = 6000.0; side <= 20000.0; side += 2000.0) {
+        const double f = tm110FrequencyHz(side, side);
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(BoxMode, AspectRatioMatters)
+{
+    // A long thin substrate keeps its mode higher than a square of
+    // equal area.
+    const double square = tm110FrequencyHz(10000.0, 10000.0);
+    const double thin = tm110FrequencyHz(20000.0, 5000.0);
+    EXPECT_GT(thin, square);
+}
+
+TEST(BoxMode, MarginSignConveysSafety)
+{
+    // A compact Falcon-sized chip (~10x10 mm) sits right at the edge of
+    // the 7 GHz resonator band; a 2x-larger Human-style chip is unsafe.
+    EXPECT_LT(substrateModeMarginHz(Rect(0, 0, 14000, 14000)), 0.0);
+    EXPECT_GT(substrateModeMarginHz(Rect(0, 0, 8000, 8000)), 0.0);
+}
+
+TEST(BoxMode, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(tm110FrequencyHz(0.0, 100.0), std::runtime_error);
+    EXPECT_THROW(tm110FrequencyHz(100.0, 100.0, 0.5),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "physics/resonator.hpp"
+#include "physics/transmon.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Resonator, LengthMatchesHalfWaveFormula)
+{
+    // L = v0 / (2 f): 6.5 GHz -> 10 mm exactly with v0 = 1.3e8 m/s.
+    EXPECT_NEAR(resonatorLengthUm(6.5e9), 10000.0, 1e-6);
+}
+
+TEST(Resonator, PaperBandGivesPaperLengths)
+{
+    // Section V-C: 6.0-7.0 GHz corresponds to 10.8 down to 9.3 mm.
+    EXPECT_NEAR(resonatorLengthUm(6.0e9), 10833.3, 0.1);
+    EXPECT_NEAR(resonatorLengthUm(7.0e9), 9285.7, 0.1);
+}
+
+TEST(Resonator, FreqAndLengthAreInverses)
+{
+    for (double f : {6.0e9, 6.5e9, 7.0e9})
+        EXPECT_NEAR(resonatorFreqHz(resonatorLengthUm(f)), f, 1.0);
+}
+
+TEST(Resonator, AreaIsLengthTimesWireWidth)
+{
+    ResonatorParams p;
+    p.freqHz = 6.5e9;
+    EXPECT_NEAR(p.areaUm2(), 10000.0 * kResonatorWireWidthUm, 1e-3);
+}
+
+TEST(Resonator, ValidateRejectsBadParams)
+{
+    ResonatorParams p;
+    p.freqHz = -1.0;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+    EXPECT_THROW(resonatorLengthUm(0.0), std::runtime_error);
+    EXPECT_THROW(resonatorFreqHz(-5.0), std::runtime_error);
+}
+
+TEST(Transmon, DefaultsAreValid)
+{
+    TransmonParams p;
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_DOUBLE_EQ(p.sizeUm, 400.0);
+}
+
+TEST(Transmon, Freq12UsesAnharmonicity)
+{
+    TransmonParams p;
+    p.freqHz = 5.0e9;
+    p.anharmonicityHz = 310e6;
+    EXPECT_DOUBLE_EQ(p.freq12Hz(), 5.0e9 - 310e6);
+}
+
+TEST(Transmon, ValidateRejectsBadParams)
+{
+    TransmonParams p;
+    p.t1 = 0.0;
+    EXPECT_THROW(p.validate(), std::runtime_error);
+
+    TransmonParams q;
+    q.anharmonicityHz = q.freqHz * 2;
+    EXPECT_THROW(q.validate(), std::runtime_error);
+}
+
+} // namespace
+} // namespace qplacer

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "topology/graph.hpp"
+
+namespace qplacer {
+namespace {
+
+Graph
+pathGraph(int n)
+{
+    Graph g(n);
+    for (int i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1);
+    return g;
+}
+
+TEST(Graph, EdgesAndDegrees)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(1, 3);
+    EXPECT_EQ(g.numNodes(), 4);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_EQ(g.degree(1), 3);
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.maxDegree(), 3);
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_TRUE(g.hasEdge(3, 1));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.addEdge(0, 0), std::logic_error);
+    EXPECT_THROW(g.addEdge(1, 0), std::logic_error);
+    EXPECT_THROW(g.addEdge(0, 5), std::logic_error);
+}
+
+TEST(Graph, BfsDistances)
+{
+    const Graph g = pathGraph(5);
+    const auto d = g.bfsDistances(0);
+    EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(g.distance(0, 4), 4);
+    EXPECT_EQ(g.distance(2, 2), 0);
+}
+
+TEST(Graph, Connectivity)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.isConnected());
+    EXPECT_EQ(g.distance(0, 3), -1);
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, BallAround)
+{
+    const Graph g = pathGraph(7);
+    const auto ball = g.ballAround(3, 2);
+    EXPECT_EQ(ball, (std::vector<int>{1, 2, 4, 5}));
+}
+
+TEST(Graph, InducedSubgraph)
+{
+    Graph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(0, 4);
+
+    std::vector<int> mapping;
+    const Graph sub = g.inducedSubgraph({1, 2, 3}, &mapping);
+    EXPECT_EQ(sub.numNodes(), 3);
+    EXPECT_EQ(sub.numEdges(), 2);
+    EXPECT_EQ(mapping, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(sub.hasEdge(0, 1)); // 1-2
+    EXPECT_TRUE(sub.hasEdge(1, 2)); // 2-3
+    EXPECT_FALSE(sub.hasEdge(0, 2));
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.inducedSubgraph({0, 0}), std::logic_error);
+}
+
+} // namespace
+} // namespace qplacer

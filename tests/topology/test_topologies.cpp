@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "topology/factory.hpp"
+#include "topology/generators.hpp"
+
+namespace qplacer {
+namespace {
+
+struct TopoSpec
+{
+    const char *name;
+    int qubits;
+    int couplers;
+};
+
+// Table I qubit counts; coupler counts are the ones implied by the
+// paper's Table II cell counts (see DESIGN.md section 5).
+class PaperTopologies : public ::testing::TestWithParam<TopoSpec>
+{
+};
+
+TEST_P(PaperTopologies, MatchesPaperInventory)
+{
+    const TopoSpec spec = GetParam();
+    const Topology topo = makeTopology(spec.name);
+    EXPECT_EQ(topo.numQubits(), spec.qubits) << spec.name;
+    EXPECT_EQ(topo.numCouplers(), spec.couplers) << spec.name;
+    EXPECT_TRUE(topo.coupling.isConnected()) << spec.name;
+    EXPECT_EQ(topo.embedding.size(),
+              static_cast<std::size_t>(spec.qubits));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, PaperTopologies,
+    ::testing::Values(TopoSpec{"Grid", 25, 40},
+                      TopoSpec{"Xtree", 53, 52},
+                      TopoSpec{"Falcon", 27, 28},
+                      TopoSpec{"Eagle", 127, 144},
+                      TopoSpec{"Aspen-11", 40, 48},
+                      TopoSpec{"Aspen-M", 80, 106}),
+    [](const auto &info) {
+        std::string n = info.param.name;
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Topologies, GridStructure)
+{
+    const Topology g = makeGrid(3, 4);
+    EXPECT_EQ(g.numQubits(), 12);
+    EXPECT_EQ(g.numCouplers(), 2 * 12 - 3 - 4); // 17
+    EXPECT_EQ(g.coupling.maxDegree(), 4);
+    // Corner qubits have degree 2.
+    EXPECT_EQ(g.coupling.degree(0), 2);
+}
+
+TEST(Topologies, FalconDegreesAreHeavyHex)
+{
+    const Topology f = makeFalcon();
+    EXPECT_LE(f.coupling.maxDegree(), 3); // heavy-hex property
+    int pendants = 0;
+    for (int q = 0; q < f.numQubits(); ++q)
+        pendants += f.coupling.degree(q) == 1;
+    EXPECT_EQ(pendants, 6); // the six stub qubits of the Falcon map
+}
+
+TEST(Topologies, EagleDegreesAreHeavyHex)
+{
+    const Topology e = makeEagle();
+    EXPECT_LE(e.coupling.maxDegree(), 3);
+}
+
+TEST(Topologies, EagleEmbeddingMatchesAdjacency)
+{
+    // Every coupled pair sits at unit grid distance in the embedding.
+    const Topology e = makeEagle();
+    for (const auto &[u, v] : e.coupling.edges()) {
+        const double d = e.embedding[u].dist(e.embedding[v]);
+        EXPECT_NEAR(d, 1.0, 1e-9);
+    }
+}
+
+TEST(Topologies, FalconEmbeddingMatchesAdjacency)
+{
+    const Topology f = makeFalcon();
+    for (const auto &[u, v] : f.coupling.edges()) {
+        const double d = f.embedding[u].dist(f.embedding[v]);
+        EXPECT_NEAR(d, 1.0, 1e-9);
+    }
+}
+
+TEST(Topologies, OctagonRingDegrees)
+{
+    const Topology a = makeAspen11();
+    // Every qubit has degree 2 (ring) plus at most 1 inter-ring link.
+    for (int q = 0; q < a.numQubits(); ++q) {
+        EXPECT_GE(a.coupling.degree(q), 2);
+        EXPECT_LE(a.coupling.degree(q), 3);
+    }
+}
+
+TEST(Topologies, XtreeIsATree)
+{
+    const Topology x = makeXtree();
+    EXPECT_EQ(x.numCouplers(), x.numQubits() - 1);
+    EXPECT_TRUE(x.coupling.isConnected());
+}
+
+TEST(Topologies, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeTopology("NotADevice"), std::runtime_error);
+}
+
+TEST(Topologies, PaperListHasSixEntries)
+{
+    EXPECT_EQ(paperTopologyNames().size(), 6u);
+}
+
+TEST(Topologies, MinEmbeddingSpacingPositive)
+{
+    for (const auto &name : paperTopologyNames()) {
+        const Topology t = makeTopology(name);
+        EXPECT_GT(t.minEmbeddingSpacing(), 0.0) << name;
+    }
+}
+
+} // namespace
+} // namespace qplacer

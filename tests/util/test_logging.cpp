@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+TEST(Logging, FatalMessageIsPreserved)
+{
+    try {
+        fatal("the message");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("the message"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, StrConcatenatesMixedTypes)
+{
+    EXPECT_EQ(str("a=", 1, " b=", 2.5), "a=1 b=2.5");
+    EXPECT_EQ(str(), "");
+}
+
+TEST(Logging, LevelFiltering)
+{
+    Logger &logger = Logger::instance();
+    const LogLevel saved = logger.level();
+    logger.setLevel(LogLevel::Silent);
+    EXPECT_EQ(logger.level(), LogLevel::Silent);
+    // No crash emitting below threshold.
+    inform("hidden");
+    warn("hidden");
+    debug("hidden");
+    logger.setLevel(saved);
+}
+
+} // namespace
+} // namespace qplacer
