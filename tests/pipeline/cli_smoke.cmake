@@ -1,0 +1,67 @@
+# CTest script: run qplacer_cli end to end and validate its artifacts.
+# Invoked as:
+#   cmake -DQPLACER_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
+
+if(NOT QPLACER_CLI OR NOT WORK_DIR)
+    message(FATAL_ERROR "cli_smoke.cmake needs -DQPLACER_CLI and -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(csv "${WORK_DIR}/smoke.csv")
+set(svg "${WORK_DIR}/smoke.svg")
+
+execute_process(
+    COMMAND "${QPLACER_CLI}" --topology grid3x3 --mode qplacer --seed 3
+            --csv "${csv}" --svg "${svg}" --quiet
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qplacer_cli exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+# --- CSV: header + exactly one data row, with the key metric columns. ---
+if(NOT EXISTS "${csv}")
+    message(FATAL_ERROR "qplacer_cli did not write ${csv}")
+endif()
+file(STRINGS "${csv}" csv_lines)
+list(LENGTH csv_lines csv_count)
+if(NOT csv_count EQUAL 2)
+    message(FATAL_ERROR "expected 2 CSV lines (header + row), got ${csv_count}")
+endif()
+list(GET csv_lines 0 csv_header)
+foreach(column topology mode qubits cells ph_percent utilization seconds)
+    string(FIND "${csv_header}" "${column}" found)
+    if(found EQUAL -1)
+        message(FATAL_ERROR "CSV header missing '${column}': ${csv_header}")
+    endif()
+endforeach()
+list(GET csv_lines 1 csv_row)
+if(NOT csv_row MATCHES "^Grid9,Qplacer,9,")
+    message(FATAL_ERROR "unexpected CSV data row: ${csv_row}")
+endif()
+
+# --- SVG: well-formed document envelope. ---
+if(NOT EXISTS "${svg}")
+    message(FATAL_ERROR "qplacer_cli did not write ${svg}")
+endif()
+file(READ "${svg}" svg_text)
+if(NOT svg_text MATCHES "^<svg ")
+    message(FATAL_ERROR "SVG does not start with an <svg> element")
+endif()
+if(NOT svg_text MATCHES "</svg>")
+    message(FATAL_ERROR "SVG is not closed with </svg>")
+endif()
+
+# --- Error path: unknown topology must fail cleanly. ---
+execute_process(
+    COMMAND "${QPLACER_CLI}" --topology no-such-device --quiet
+    RESULT_VARIABLE bad_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(bad_rc EQUAL 0)
+    message(FATAL_ERROR "qplacer_cli accepted an unknown topology")
+endif()
+
+message(STATUS "cli_smoke: OK")

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * qplacer_cli: command-line driver for the Fig. 7 end-to-end flow.
+ *
+ * Builds a topology (paper device or parametric spec), runs the chosen
+ * placement mode, and emits metrics (stdout + optional CSV) and artifacts
+ * (SVG schematic, plain-text layout).
+ *
+ * Examples:
+ *   qplacer_cli --topology Falcon --csv falcon.csv --svg falcon.svg
+ *   qplacer_cli --topology grid3x3 --mode classic --seed 7
+ *   qplacer_cli --topology heavyhex3x9 --set placer.maxIters=300
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qplacer.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace qplacer {
+namespace {
+
+struct CliOptions
+{
+    std::string topology = "Falcon";
+    PlacerMode mode = PlacerMode::Qplacer;
+    std::uint64_t seed = 1;
+    double segmentUm = 300.0;
+    Config overrides;
+    std::string csvPath;
+    std::string svgPath;
+    std::string layoutPath;
+    double svgScale = 0.05;
+    bool listTopologies = false;
+    bool quiet = false;
+    bool help = false;
+};
+
+const char *kUsage = R"(qplacer_cli - frequency-aware quantum-chip placement driver
+
+Usage: qplacer_cli [options]
+
+Options:
+  --topology SPEC     Device topology (default: Falcon). SPEC is either a
+                      paper device (Grid, Xtree, Falcon, Eagle, Aspen-11,
+                      Aspen-M) or a parametric spec: gridRxC (e.g. grid3x3),
+                      heavyhexRxW, octagonRxC.
+  --mode MODE         qplacer | classic | human (default: qplacer).
+  --seed N            RNG seed for the placer (default: 1).
+  --segment UM        Resonator segment size l_b in um (default: 300).
+  --set KEY=VALUE     Override a flow parameter; repeatable. Keys:
+                      targetUtil, placer.maxIters, placer.minIters,
+                      placer.targetDensity, placer.bins,
+                      placer.stopOverflow, placer.freqForce,
+                      placer.freqWeight, placer.freqCutoffFactor,
+                      assigner.distance2, assigner.detuningThresholdGHz,
+                      legalizer.cellUm, legalizer.flowRefine,
+                      legalizer.integration, hotspot.adjacencyTolUm.
+  --csv PATH          Write a one-row metrics CSV to PATH.
+  --svg PATH          Render the placed layout to PATH as SVG.
+  --layout PATH       Save instance positions ("id kind x y freq") to PATH.
+  --svg-scale X       SVG pixels per um (default: 0.05).
+  --list-topologies   Print the known topology names and exit.
+  --quiet             Suppress status logging (errors still shown).
+  --help              Show this message.
+)";
+
+/** Keys understood by --set; anything else is a user error. */
+const char *kKnownSetKeys[] = {
+    "targetUtil",
+    "placer.maxIters",
+    "placer.minIters",
+    "placer.bins",
+    "placer.targetDensity",
+    "placer.stopOverflow",
+    "placer.freqForce",
+    "placer.freqWeight",
+    "placer.freqCutoffFactor",
+    "assigner.distance2",
+    "assigner.detuningThresholdGHz",
+    "legalizer.cellUm",
+    "legalizer.flowRefine",
+    "legalizer.integration",
+    "hotspot.adjacencyTolUm",
+};
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** std::stod with a CLI-grade error message; rejects nan/inf. */
+double
+parseDouble(const std::string &value, const std::string &flag)
+{
+    try {
+        std::size_t consumed = 0;
+        const double v = std::stod(value, &consumed);
+        if (consumed != value.size() || !std::isfinite(v))
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("expected a finite number for " + flag + ", got '" + value +
+              "'");
+    }
+}
+
+/** parseDouble, additionally requiring a strictly positive value. */
+double
+parsePositiveDouble(const std::string &value, const std::string &flag)
+{
+    const double v = parseDouble(value, flag);
+    if (v <= 0.0)
+        fatal("expected a positive number for " + flag + ", got '" + value +
+              "'");
+    return v;
+}
+
+/** std::stoull with a CLI-grade error message. */
+std::uint64_t
+parseUint(const std::string &value, const std::string &flag)
+{
+    try {
+        // std::stoull accepts and wraps a leading minus sign; reject it.
+        if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0])))
+            throw std::invalid_argument(value);
+        std::size_t consumed = 0;
+        const std::uint64_t v = std::stoull(value, &consumed);
+        if (consumed != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("expected a non-negative integer for " + flag + ", got '" +
+              value + "'");
+    }
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Parse "3x9" from a spec tail; fatal() on malformed input. */
+void
+parseDims(const std::string &spec, const std::string &tail, int &a, int &b)
+{
+    const auto x = tail.find('x');
+    std::size_t consumed_a = 0;
+    std::size_t consumed_b = 0;
+    if (x == std::string::npos || x == 0 || x + 1 >= tail.size())
+        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
+    try {
+        a = std::stoi(tail.substr(0, x), &consumed_a);
+        b = std::stoi(tail.substr(x + 1), &consumed_b);
+    } catch (const std::exception &) {
+        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
+    }
+    if (consumed_a != x || consumed_b != tail.size() - x - 1 || a <= 0 ||
+        b <= 0)
+        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
+}
+
+/**
+ * Resolve a topology spec: paper device names (case-insensitive) or a
+ * parametric gridRxC / heavyhexRxW / octagonRxC spec.
+ */
+Topology
+resolveTopology(const std::string &spec)
+{
+    const std::string lower = toLower(spec);
+    for (const std::string &name : paperTopologyNames())
+        if (lower == toLower(name))
+            return makeTopology(name);
+    if (lower == "grid25")
+        return makeTopology("Grid25");
+
+    int a = 0;
+    int b = 0;
+    if (startsWith(lower, "grid")) {
+        parseDims(spec, lower.substr(4), a, b);
+        return makeGrid(a, b);
+    }
+    if (startsWith(lower, "heavyhex")) {
+        parseDims(spec, lower.substr(8), a, b);
+        return makeHeavyHex(a, b);
+    }
+    if (startsWith(lower, "octagon")) {
+        parseDims(spec, lower.substr(7), a, b);
+        return makeOctagon(a, b);
+    }
+    fatal("unknown topology '" + spec +
+          "' (try --list-topologies, gridRxC, heavyhexRxW, octagonRxC)");
+}
+
+PlacerMode
+parseMode(const std::string &value)
+{
+    const std::string lower = toLower(value);
+    if (lower == "qplacer")
+        return PlacerMode::Qplacer;
+    if (lower == "classic")
+        return PlacerMode::Classic;
+    if (lower == "human")
+        return PlacerMode::Human;
+    fatal("unknown mode '" + value + "' (expected qplacer|classic|human)");
+}
+
+/** Map --set overrides onto the flow parameter tree. */
+void
+applyOverrides(const Config &cfg, FlowParams &params)
+{
+    params.targetUtil = cfg.getDouble("targetUtil", params.targetUtil);
+    params.placer.targetUtil = params.targetUtil;
+
+    PlacerParams &pp = params.placer;
+    pp.maxIters = static_cast<int>(cfg.getInt("placer.maxIters", pp.maxIters));
+    pp.minIters = static_cast<int>(cfg.getInt("placer.minIters", pp.minIters));
+    pp.bins = static_cast<int>(cfg.getInt("placer.bins", pp.bins));
+    pp.targetDensity = cfg.getDouble("placer.targetDensity", pp.targetDensity);
+    pp.stopOverflow = cfg.getDouble("placer.stopOverflow", pp.stopOverflow);
+    pp.freqForce = cfg.getBool("placer.freqForce", pp.freqForce);
+    pp.freqWeight = cfg.getDouble("placer.freqWeight", pp.freqWeight);
+    pp.freqCutoffFactor =
+        cfg.getDouble("placer.freqCutoffFactor", pp.freqCutoffFactor);
+
+    AssignerParams &ap = params.assigner;
+    ap.distance2 = cfg.getBool("assigner.distance2", ap.distance2);
+    ap.detuningThresholdHz =
+        cfg.getDouble("assigner.detuningThresholdGHz",
+                      ap.detuningThresholdHz / 1e9) *
+        1e9;
+    pp.detuningThresholdHz = ap.detuningThresholdHz;
+    params.hotspot.detuningThresholdHz = ap.detuningThresholdHz;
+
+    LegalizerParams &lp = params.legalizer;
+    lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
+    lp.flowRefine = cfg.getBool("legalizer.flowRefine", lp.flowRefine);
+    lp.integration = cfg.getBool("legalizer.integration", lp.integration);
+
+    params.hotspot.adjacencyTolUm =
+        cfg.getDouble("hotspot.adjacencyTolUm", params.hotspot.adjacencyTolUm);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto need = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("missing value for " + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--topology") {
+            opts.topology = need(i, arg);
+        } else if (arg == "--mode") {
+            opts.mode = parseMode(need(i, arg));
+        } else if (arg == "--seed") {
+            opts.seed = parseUint(need(i, arg), arg);
+        } else if (arg == "--segment") {
+            opts.segmentUm = parsePositiveDouble(need(i, arg), arg);
+        } else if (arg == "--set") {
+            const std::string kv = need(i, arg);
+            const auto eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0)
+                fatal("--set expects KEY=VALUE, got '" + kv + "'");
+            const std::string key = kv.substr(0, eq);
+            bool known = false;
+            for (const char *candidate : kKnownSetKeys)
+                known = known || key == candidate;
+            if (!known)
+                fatal("unknown --set key '" + key + "' (see --help)");
+            opts.overrides.set(key, kv.substr(eq + 1));
+        } else if (arg == "--csv") {
+            opts.csvPath = need(i, arg);
+        } else if (arg == "--svg") {
+            opts.svgPath = need(i, arg);
+        } else if (arg == "--layout") {
+            opts.layoutPath = need(i, arg);
+        } else if (arg == "--svg-scale") {
+            opts.svgScale = parsePositiveDouble(need(i, arg), arg);
+        } else if (arg == "--list-topologies") {
+            opts.listTopologies = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            fatal("unknown option '" + arg + "' (see --help)");
+        }
+    }
+    return opts;
+}
+
+void
+writeMetricsCsv(const std::string &path, const Topology &topo,
+                const CliOptions &opts, const FlowResult &result)
+{
+    CsvWriter csv(path);
+    csv.header({"topology", "mode", "qubits", "couplers", "cells",
+                "freq_slots", "iterations", "converged", "overflow", "hpwl_um",
+                "legal", "qubit_disp_um", "segment_disp_um", "ph_percent",
+                "impacted_qubits", "utilization", "amer_um2", "apoly_um2",
+                "seconds"});
+    csv.row({CsvWriter::cell(topo.name),
+             CsvWriter::cell(std::string(placerModeName(opts.mode))),
+             CsvWriter::cell(static_cast<long long>(topo.numQubits())),
+             CsvWriter::cell(static_cast<long long>(topo.numCouplers())),
+             CsvWriter::cell(
+                 static_cast<long long>(result.netlist.numInstances())),
+             CsvWriter::cell(
+                 static_cast<long long>(result.freqs.numQubitSlots)),
+             CsvWriter::cell(static_cast<long long>(result.place.iterations)),
+             CsvWriter::cell(static_cast<long long>(result.place.converged)),
+             CsvWriter::cell(result.place.finalOverflow),
+             CsvWriter::cell(result.place.finalHpwl),
+             CsvWriter::cell(static_cast<long long>(result.legal.legal)),
+             CsvWriter::cell(result.legal.qubitDisplacementUm),
+             CsvWriter::cell(result.legal.segmentDisplacementUm),
+             CsvWriter::cell(result.hotspots.phPercent),
+             CsvWriter::cell(static_cast<long long>(
+                 result.hotspots.impactedQubits.size())),
+             CsvWriter::cell(result.area.utilization),
+             CsvWriter::cell(result.area.amerUm2),
+             CsvWriter::cell(result.area.apolyUm2),
+             CsvWriter::cell(result.seconds)});
+}
+
+void
+printSummary(const Topology &topo, const CliOptions &opts,
+             const FlowResult &result)
+{
+    TextTable table;
+    table.header({"metric", "value"});
+    table.row({"topology", topo.name});
+    table.row({"mode", placerModeName(opts.mode)});
+    table.row({"qubits", TextTable::num(topo.numQubits(), 0)});
+    table.row({"couplers", TextTable::num(topo.numCouplers(), 0)});
+    table.row({"cells", TextTable::num(result.netlist.numInstances(), 0)});
+    table.row({"freq slots", TextTable::num(result.freqs.numQubitSlots, 0)});
+    if (opts.mode != PlacerMode::Human) {
+        table.row({"iterations", TextTable::num(result.place.iterations, 0)});
+        table.row({"overflow", TextTable::num(result.place.finalOverflow, 4)});
+        table.row({"HPWL (um)", TextTable::num(result.place.finalHpwl, 1)});
+        table.row({"legal", result.legal.legal ? "yes" : "no"});
+    }
+    table.row({"P_h (%)", TextTable::num(result.hotspots.phPercent, 2)});
+    table.row({"utilization", TextTable::num(result.area.utilization, 4)});
+    table.row({"A_mer (um^2)", TextTable::num(result.area.amerUm2, 0)});
+    table.row({"wall clock (s)", TextTable::num(result.seconds, 2)});
+    std::cout << table.render();
+}
+
+int
+run(int argc, char **argv)
+{
+    const CliOptions opts = parseArgs(argc, argv);
+    if (opts.help) {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (opts.listTopologies) {
+        for (const std::string &name : paperTopologyNames())
+            std::cout << name << "\n";
+        std::cout << "gridRxC heavyhexRxW octagonRxC (parametric)\n";
+        return 0;
+    }
+    if (opts.quiet)
+        Logger::instance().setLevel(LogLevel::Warn);
+
+    const Topology topo = resolveTopology(opts.topology);
+    topo.validate();
+
+    FlowParams params;
+    params.mode = opts.mode;
+    params.partition.segmentUm = opts.segmentUm;
+    params.placer.seed = opts.seed;
+    applyOverrides(opts.overrides, params);
+
+    const FlowResult result = QplacerFlow(params).run(topo);
+
+    if (!opts.csvPath.empty())
+        writeMetricsCsv(opts.csvPath, topo, opts, result);
+    if (!opts.svgPath.empty()) {
+        SvgOptions svg;
+        svg.scale = opts.svgScale;
+        writeLayoutSvg(result.netlist, opts.svgPath, svg);
+    }
+    if (!opts.layoutPath.empty())
+        saveLayout(result.netlist, opts.layoutPath);
+
+    if (!opts.quiet)
+        printSummary(topo, opts, result);
+    return 0;
+}
+
+} // namespace
+} // namespace qplacer
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return qplacer::run(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "qplacer_cli: " << e.what() << "\n";
+        return 1;
+    }
+}
