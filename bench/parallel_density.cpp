@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Serial vs. threaded Poisson/DCT density engine on Eagle-127 and a
+ * 1000+ qubit parametric grid.
+ *
+ * For each topology the driver splats the real netlist density once,
+ * then times PoissonSolver::solve and the full DensityModel::evaluate
+ * at 1, 2, 4, and 8 threads, verifying that every threaded solution
+ * matches the serial one within 1e-9. Results go to stdout and a CSV
+ * (first argv, default parallel_density.csv) for the nightly CI
+ * artifact trail.
+ *
+ * Environment overrides:
+ *   QP_BENCH_REPS  solves per timing sample (default 20)
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/density.hpp"
+#include "core/poisson.hpp"
+#include "geometry/bin_grid.hpp"
+#include "topology/generators.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace qplacer;
+
+namespace {
+
+struct Workload
+{
+    std::string name;
+    Topology topo;
+    int bins;
+};
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+double
+maxAbsValue(const std::vector<double> &v)
+{
+    double m = 0.0;
+    for (double x : v)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+/** Max abs difference normalized by the reference magnitude. */
+double
+solutionDiff(const PoissonSolver::Solution &a,
+             const PoissonSolver::Solution &b)
+{
+    const double scale = std::max(
+        1.0, std::max({maxAbsValue(b.potential), maxAbsValue(b.fieldX),
+                       maxAbsValue(b.fieldY)}));
+    return std::max({maxAbsDiff(a.potential, b.potential),
+                     maxAbsDiff(a.fieldX, b.fieldX),
+                     maxAbsDiff(a.fieldY, b.fieldY)}) /
+           scale;
+}
+
+/** Charge-density map of the netlist's current (warm-start) layout. */
+std::vector<double>
+densityMap(const Netlist &netlist, int bins)
+{
+    BinGrid grid(netlist.region(), bins, bins);
+    for (const Instance &inst : netlist.instances()) {
+        grid.splat(Rect::fromCenter(inst.pos, inst.paddedWidth(),
+                                    inst.paddedHeight()),
+                   inst.paddedArea());
+    }
+    std::vector<double> density = grid.data();
+    const double inv_bin_area = 1.0 / grid.binArea();
+    for (double &d : density)
+        d *= inv_bin_area;
+    return density;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string csv_path =
+        argc > 1 ? argv[1] : "parallel_density.csv";
+    const int reps =
+        static_cast<int>(Config::envInt("QP_BENCH_REPS", 20));
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"Eagle", makeTopology("Eagle"), 128});
+    // 1024 qubits: past every paper device, the north-star scale.
+    workloads.push_back({"grid32x32", makeGrid(32, 32), 256});
+
+    CsvWriter csv(csv_path);
+    csv.header({"topology", "qubits", "instances", "bins", "threads",
+                "reps", "solve_ms", "solve_speedup", "solve_rel_diff",
+                "evaluate_ms", "evaluate_speedup"});
+
+    bench::banner("parallel density engine: serial vs. threaded");
+    for (const Workload &wl : workloads) {
+        FlowParams params;
+        const FrequencyAssigner assigner(params.assigner);
+        const auto freqs = assigner.assign(wl.topo);
+        const NetlistBuilder builder(params.partition);
+        const Netlist netlist =
+            builder.build(wl.topo, freqs, params.targetUtil);
+
+        std::vector<Vec2> positions(netlist.instances().size());
+        for (std::size_t i = 0; i < positions.size(); ++i)
+            positions[i] = netlist.instances()[i].pos;
+        const std::vector<double> density = densityMap(netlist, wl.bins);
+
+        std::printf("-- %s: %d qubits, %d instances, %dx%d bins\n",
+                    wl.name.c_str(), wl.topo.numQubits(),
+                    netlist.numInstances(), wl.bins, wl.bins);
+
+        // Serial reference (thread count 1, no pool at all).
+        const PoissonSolver serial_solver(
+            wl.bins, wl.bins, netlist.region().width(),
+            netlist.region().height());
+        const PoissonSolver::Solution reference =
+            serial_solver.solve(density);
+
+        double serial_solve_ms = 0.0;
+        double serial_eval_ms = 0.0;
+        for (const int threads : {1, 2, 4, 8}) {
+            ThreadPool pool(threads);
+            ThreadPool *pool_ptr = threads > 1 ? &pool : nullptr;
+            const PoissonSolver solver(wl.bins, wl.bins,
+                                       netlist.region().width(),
+                                       netlist.region().height(),
+                                       pool_ptr);
+
+            const double diff =
+                solutionDiff(solver.solve(density), reference);
+
+            Timer solve_timer;
+            for (int r = 0; r < reps; ++r) {
+                const PoissonSolver::Solution sol =
+                    solver.solve(density);
+                // Defeat over-eager optimizers.
+                if (sol.potential.empty())
+                    std::printf("impossible\n");
+            }
+            const double solve_ms = solve_timer.millis() / reps;
+
+            DensityModel model(netlist, wl.bins, 0.9, pool_ptr);
+            std::vector<Vec2> gradient;
+            model.evaluate(positions, gradient); // warm-up
+            Timer eval_timer;
+            for (int r = 0; r < reps; ++r)
+                model.evaluate(positions, gradient);
+            const double eval_ms = eval_timer.millis() / reps;
+
+            if (threads == 1) {
+                serial_solve_ms = solve_ms;
+                serial_eval_ms = eval_ms;
+            }
+            const double solve_speedup = serial_solve_ms / solve_ms;
+            const double eval_speedup = serial_eval_ms / eval_ms;
+
+            std::printf("   %d thread%s: solve %8.3f ms (%.2fx)  "
+                        "evaluate %8.3f ms (%.2fx)  rel|diff| %.3g\n",
+                        threads, threads == 1 ? " " : "s", solve_ms,
+                        solve_speedup, eval_ms, eval_speedup, diff);
+            if (diff > 1e-9) {
+                std::printf("FAIL: threaded solve diverged (%g > 1e-9)\n",
+                            diff);
+                return 1;
+            }
+
+            csv.row({CsvWriter::cell(wl.name),
+                     CsvWriter::cell(
+                         static_cast<long long>(wl.topo.numQubits())),
+                     CsvWriter::cell(static_cast<long long>(
+                         netlist.numInstances())),
+                     CsvWriter::cell(static_cast<long long>(wl.bins)),
+                     CsvWriter::cell(static_cast<long long>(threads)),
+                     CsvWriter::cell(static_cast<long long>(reps)),
+                     CsvWriter::cell(solve_ms),
+                     CsvWriter::cell(solve_speedup),
+                     CsvWriter::cell(diff),
+                     CsvWriter::cell(eval_ms),
+                     CsvWriter::cell(eval_speedup)});
+        }
+    }
+    std::printf("CSV written to %s\n", csv_path.c_str());
+    return 0;
+}

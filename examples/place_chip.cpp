@@ -22,7 +22,8 @@ main(int argc, char **argv)
     const std::string topo_name = argc > 1 ? argv[1] : "Falcon";
     const std::string mode_name = argc > 2 ? argv[2] : "Qplacer";
     const double lb = argc > 3 ? std::atof(argv[3]) : 300.0;
-    const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    const std::uint64_t seed =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
     const std::string out = argc > 5 ? argv[5] : topo_name + ".svg";
 
     PlacerMode mode;

@@ -20,6 +20,8 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** Bin-based electrostatic density model. */
 class DensityModel
 {
@@ -28,8 +30,14 @@ class DensityModel
      * @param netlist        Netlist (kept by reference).
      * @param bins           Bins per axis (power of two).
      * @param target_density Target bin fill D-hat in [0, 1].
+     * @param pool           Worker pool shared with the Poisson solver
+     *                       (null = serial; not owned). Bin charges are
+     *                       accumulated per chunk and reduced in chunk
+     *                       order, so results are deterministic for a
+     *                       fixed thread count.
      */
-    DensityModel(const Netlist &netlist, int bins, double target_density);
+    DensityModel(const Netlist &netlist, int bins, double target_density,
+                 ThreadPool *pool = nullptr);
 
     /**
      * Evaluate the density penalty at @p positions.
@@ -58,7 +66,13 @@ class DensityModel
     BinGrid grid_;
     PoissonSolver solver_;
     double targetDensity_;
+    ThreadPool *pool_;
     double overflow_ = 1.0;
+    /**
+     * Per-chunk charge grids for the parallel splat (chunks 1..k-1),
+     * allocated lazily on the first threaded evaluate().
+     */
+    std::vector<BinGrid> splatScratch_;
 };
 
 } // namespace qplacer

@@ -18,6 +18,8 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** Coulomb-style repulsion between near-resonant instances. */
 class FreqForceModel
 {
@@ -33,9 +35,15 @@ class FreqForceModel
      *
      * The per-pair strength is scaled by the geometric mean of the two
      * padded footprints so that large components repel proportionally.
+     *
+     * @param pool Worker pool (null = serial; not owned). Pairs are
+     *             chunked by their lower instance index and per-chunk
+     *             gradients reduced in chunk order, deterministic for a
+     *             fixed thread count.
      */
     FreqForceModel(const Netlist &netlist, double threshold_hz,
-                   double cutoff_factor = 0.75);
+                   double cutoff_factor = 0.75,
+                   ThreadPool *pool = nullptr);
 
     /**
      * Truncated Coulomb potential
@@ -55,6 +63,9 @@ class FreqForceModel
     CollisionMap map_;
     std::vector<double> charge_; ///< Per-instance repulsion scale.
     double cutoffFactor_;
+    ThreadPool *pool_;
+    /** Per-chunk gradient scatter buffers (chunks x instances). */
+    mutable std::vector<Vec2> gradScratch_;
 };
 
 } // namespace qplacer

@@ -4,13 +4,14 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qplacer {
 
 NesterovOptimizer::NesterovOptimizer(Rect region,
                                      std::vector<Vec2> half_sizes,
-                                     double max_step_frac)
-    : region_(region), halfSizes_(std::move(half_sizes))
+                                     double max_step_frac, ThreadPool *pool)
+    : region_(region), halfSizes_(std::move(half_sizes)), pool_(pool)
 {
     maxStep_ = max_step_frac *
                std::hypot(region.width(), region.height());
@@ -33,13 +34,20 @@ NesterovOptimizer::reset(const std::vector<Vec2> &initial)
 void
 NesterovOptimizer::clamp(std::vector<Vec2> &positions) const
 {
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-        const Vec2 &h = halfSizes_[i];
-        positions[i].x = std::clamp(positions[i].x, region_.lo.x + h.x,
-                                    region_.hi.x - h.x);
-        positions[i].y = std::clamp(positions[i].y, region_.lo.y + h.y,
-                                    region_.hi.y - h.y);
-    }
+    parallelFor(
+        pool_, positions.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const Vec2 &h = halfSizes_[i];
+                positions[i].x =
+                    std::clamp(positions[i].x, region_.lo.x + h.x,
+                               region_.hi.x - h.x);
+                positions[i].y =
+                    std::clamp(positions[i].y, region_.lo.y + h.y,
+                               region_.hi.y - h.y);
+            }
+        },
+        ThreadPool::kGrainFine);
 }
 
 double
@@ -48,36 +56,75 @@ NesterovOptimizer::step(const std::vector<Vec2> &gradient)
     if (gradient.size() != v_.size())
         panic("NesterovOptimizer::step: gradient size mismatch");
 
+    const std::size_t n = v_.size();
+    const int chunks = parallelChunks(pool_);
+
     // Barzilai-Borwein step length from successive lookahead gradients.
     if (havePrev_) {
+        std::vector<double> num_part(static_cast<std::size_t>(chunks),
+                                     0.0);
+        std::vector<double> den_part(static_cast<std::size_t>(chunks),
+                                     0.0);
+        parallelForChunks(
+            pool_, n,
+            [&](int chunk, std::size_t begin, std::size_t end) {
+                double num = 0.0;
+                double den = 0.0;
+                for (std::size_t i = begin; i < end; ++i) {
+                    const Vec2 ds = v_[i] - prevV_[i];
+                    const Vec2 dg = gradient[i] - prevG_[i];
+                    num += ds.normSq();
+                    den += ds.dot(dg);
+                }
+                num_part[chunk] = num;
+                den_part[chunk] = den;
+            },
+            ThreadPool::kGrainFine);
         double num = 0.0;
         double den = 0.0;
-        for (std::size_t i = 0; i < v_.size(); ++i) {
-            const Vec2 ds = v_[i] - prevV_[i];
-            const Vec2 dg = gradient[i] - prevG_[i];
-            num += ds.normSq();
-            den += ds.dot(dg);
+        for (int c = 0; c < chunks; ++c) {
+            num += num_part[c];
+            den += den_part[c];
         }
         if (den > 1e-16)
             alpha_ = num / den;
         // Otherwise keep the previous step length (curvature estimate
         // unavailable this iteration).
     }
+
+    // max() is exact, so per-chunk maxima combine to the serial result
+    // regardless of chunking.
+    auto grad_max = [&](auto &&value) {
+        std::vector<double> part(static_cast<std::size_t>(chunks), 0.0);
+        parallelForChunks(
+            pool_, n,
+            [&](int chunk, std::size_t begin, std::size_t end) {
+                double m = 0.0;
+                for (std::size_t i = begin; i < end; ++i)
+                    m = std::max(m, value(gradient[i]));
+                part[chunk] = m;
+            },
+            ThreadPool::kGrainFine);
+        double m = 0.0;
+        for (int c = 0; c < chunks; ++c)
+            m = std::max(m, part[c]);
+        return m;
+    };
+
     if (alpha_ <= 0.0) {
         // First iteration: normalize so the largest move is a small
         // fraction of the region.
-        double gmax = 0.0;
-        for (const Vec2 &g : gradient)
-            gmax = std::max({gmax, std::abs(g.x), std::abs(g.y)});
+        const double gmax = grad_max([](const Vec2 &g) {
+            return std::max(std::abs(g.x), std::abs(g.y));
+        });
         const double span =
             std::max(region_.width(), region_.height());
         alpha_ = gmax > 1e-16 ? 0.002 * span / gmax : 1.0;
     }
 
     // Cap the largest displacement at maxStep_.
-    double gmax = 0.0;
-    for (const Vec2 &g : gradient)
-        gmax = std::max(gmax, g.norm());
+    const double gmax =
+        grad_max([](const Vec2 &g) { return g.norm(); });
     double alpha = alpha_;
     if (gmax * alpha > maxStep_)
         alpha = maxStep_ / gmax;
@@ -87,16 +134,26 @@ NesterovOptimizer::step(const std::vector<Vec2> &gradient)
     havePrev_ = true;
 
     // Nesterov update.
-    std::vector<Vec2> x_new(v_.size());
-    for (std::size_t i = 0; i < v_.size(); ++i)
-        x_new[i] = v_[i] - gradient[i] * alpha;
+    std::vector<Vec2> x_new(n);
+    parallelFor(
+        pool_, n,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                x_new[i] = v_[i] - gradient[i] * alpha;
+        },
+        ThreadPool::kGrainFine);
     clamp(x_new);
 
     const double theta_new =
         (1.0 + std::sqrt(1.0 + 4.0 * theta_ * theta_)) / 2.0;
     const double momentum = (theta_ - 1.0) / theta_new;
-    for (std::size_t i = 0; i < v_.size(); ++i)
-        v_[i] = x_new[i] + (x_new[i] - x_[i]) * momentum;
+    parallelFor(
+        pool_, n,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                v_[i] = x_new[i] + (x_new[i] - x_[i]) * momentum;
+        },
+        ThreadPool::kGrainFine);
     clamp(v_);
 
     x_ = std::move(x_new);

@@ -15,6 +15,8 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /**
  * Nesterov iteration state over a vector of 2-D positions with region
  * clamping. The objective gradient is supplied per step by the caller
@@ -28,9 +30,14 @@ class NesterovOptimizer
      * @param half_sizes Half extents (padded) per instance for clamping.
      * @param max_step_frac Cap on per-iteration movement, as a fraction
      *                  of the region diagonal.
+     * @param pool      Worker pool for the per-instance loops (null =
+     *                  serial; not owned). Reductions sum per-chunk
+     *                  partials in chunk order, deterministic for a
+     *                  fixed thread count.
      */
     NesterovOptimizer(Rect region, std::vector<Vec2> half_sizes,
-                      double max_step_frac = 0.05);
+                      double max_step_frac = 0.05,
+                      ThreadPool *pool = nullptr);
 
     /** Reset to a fresh starting point. */
     void reset(const std::vector<Vec2> &initial);
@@ -56,6 +63,7 @@ class NesterovOptimizer
     Rect region_;
     std::vector<Vec2> halfSizes_;
     double maxStep_;
+    ThreadPool *pool_;
 
     std::vector<Vec2> x_;      ///< Major solution.
     std::vector<Vec2> v_;      ///< Lookahead.

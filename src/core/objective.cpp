@@ -4,39 +4,48 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qplacer {
 
 namespace {
 
 double
-l1Norm(const std::vector<Vec2> &g)
+l1Norm(ThreadPool *pool, const std::vector<Vec2> &g)
 {
-    double acc = 0.0;
-    for (const Vec2 &v : g)
-        acc += std::abs(v.x) + std::abs(v.y);
-    return acc;
+    return parallelReduce(
+        pool, g.size(),
+        [&](std::size_t begin, std::size_t end) {
+            double acc = 0.0;
+            for (std::size_t i = begin; i < end; ++i)
+                acc += std::abs(g[i].x) + std::abs(g[i].y);
+            return acc;
+        },
+        ThreadPool::kGrainFine);
 }
 
 } // namespace
 
 PlacementObjective::PlacementObjective(const Netlist &netlist,
-                                       const PlacerParams &params)
+                                       const PlacerParams &params,
+                                       ThreadPool *pool)
     : netlist_(netlist),
       params_(params),
+      pool_(pool),
       wirelength_(netlist,
                   std::max(1e-3, params.gammaFrac *
-                                     netlist.region().width())),
+                                     netlist.region().width()),
+                  pool),
       density_(netlist,
                params.bins > 0
                    ? params.bins
                    : DensityModel::autoBinCount(netlist.numInstances()),
-               params.targetDensity)
+               params.targetDensity, pool)
 {
     if (params.freqForce) {
         freqForce_ = std::make_unique<FreqForceModel>(
             netlist, params.detuningThresholdHz,
-            params.freqCutoffFactor);
+            params.freqCutoffFactor, pool_);
     }
     gammaBase_ = density_.grid().binWidth();
 
@@ -60,10 +69,10 @@ PlacementObjective::evaluate(const std::vector<Vec2> &positions,
         // pairs isolated); initialize its penalty weight the first time
         // it produces a gradient.
         if (!freqLambdaLive_) {
-            const double fr_norm = l1Norm(gradFreq_);
+            const double fr_norm = l1Norm(pool_, gradFreq_);
             if (fr_norm > 1e-12) {
                 freqLambda_ =
-                    params_.freqWeight * l1Norm(gradWl_) / fr_norm;
+                    params_.freqWeight * l1Norm(pool_, gradWl_) / fr_norm;
                 freqLambdaInit_ = freqLambda_;
                 freqLambdaLive_ = true;
             }
@@ -77,14 +86,21 @@ PlacementObjective::evaluate(const std::vector<Vec2> &positions,
 
     gradient.assign(positions.size(), Vec2());
     const auto &instances = netlist_.instances();
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-        Vec2 g = gradWl_[i] + gradDen_[i] * lambda_ +
-                 gradFreq_[i] * freqLambda_;
-        // Jacobi preconditioner (ePlace): net degree + lambda * charge.
-        const double h = std::max(
-            1.0, netDegree_[i] + lambda_ * instances[i].paddedArea());
-        gradient[i] = g / h;
-    }
+    parallelFor(
+        pool_, positions.size(),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const Vec2 g = gradWl_[i] + gradDen_[i] * lambda_ +
+                               gradFreq_[i] * freqLambda_;
+                // Jacobi preconditioner (ePlace): net degree + lambda *
+                // charge.
+                const double h = std::max(
+                    1.0,
+                    netDegree_[i] + lambda_ * instances[i].paddedArea());
+                gradient[i] = g / h;
+            }
+        },
+        ThreadPool::kGrainFine);
     return out;
 }
 
@@ -93,8 +109,8 @@ PlacementObjective::initPenalties(const std::vector<Vec2> &positions)
 {
     wirelength_.evaluate(positions, gradWl_);
     density_.evaluate(positions, gradDen_);
-    const double wl_norm = l1Norm(gradWl_);
-    const double den_norm = l1Norm(gradDen_);
+    const double wl_norm = l1Norm(pool_, gradWl_);
+    const double den_norm = l1Norm(pool_, gradDen_);
     lambda_ = den_norm > 1e-12 ? wl_norm / den_norm : 0.0;
 
     freqLambda_ = 0.0;
@@ -102,7 +118,7 @@ PlacementObjective::initPenalties(const std::vector<Vec2> &positions)
     wlGradNorm_ = wl_norm;
     if (freqForce_) {
         freqForce_->evaluate(positions, gradFreq_);
-        const double fr_norm = l1Norm(gradFreq_);
+        const double fr_norm = l1Norm(pool_, gradFreq_);
         if (fr_norm > 1e-12) {
             freqLambda_ = params_.freqWeight * wl_norm / fr_norm;
             freqLambdaInit_ = freqLambda_;

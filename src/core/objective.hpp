@@ -21,11 +21,18 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** Combined placement objective with penalty schedule. */
 class PlacementObjective
 {
   public:
-    PlacementObjective(const Netlist &netlist, const PlacerParams &params);
+    /**
+     * @param pool Worker pool shared by every component model (null =
+     *             serial; not owned, must outlive the objective).
+     */
+    PlacementObjective(const Netlist &netlist, const PlacerParams &params,
+                       ThreadPool *pool = nullptr);
 
     /** Component values from the last evaluate(). */
     struct Components
@@ -67,6 +74,7 @@ class PlacementObjective
   private:
     const Netlist &netlist_;
     PlacerParams params_;
+    ThreadPool *pool_;
     WirelengthModel wirelength_;
     DensityModel density_;
     std::unique_ptr<FreqForceModel> freqForce_;

@@ -83,6 +83,14 @@ struct PlacerParams
     /** Detuning threshold Delta_c for the collision map. */
     double detuningThresholdHz = kDetuningThresholdHz;
 
+    /**
+     * Worker threads for the density/DCT hot path (0 = hardware
+     * concurrency, capped; 1 = serial). Results are bitwise-
+     * deterministic for a fixed thread count and match across thread
+     * counts within floating-point tolerance.
+     */
+    int threads = 0;
+
     /** RNG seed for the initial-placement jitter. */
     std::uint64_t seed = 1;
 

@@ -6,6 +6,7 @@
 #include "core/objective.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace qplacer {
@@ -44,8 +45,14 @@ GlobalPlacer::place(Netlist &netlist) const
                              instances[i].paddedHeight() / 2.0);
     }
 
-    PlacementObjective objective(netlist, params_);
-    NesterovOptimizer optimizer(netlist.region(), half_sizes);
+    // One pool for the whole run; every model shares it so the hot
+    // path never spawns threads mid-iteration.
+    ThreadPool pool(params_.threads);
+    ThreadPool *pool_ptr = pool.threads() > 1 ? &pool : nullptr;
+
+    PlacementObjective objective(netlist, params_, pool_ptr);
+    NesterovOptimizer optimizer(netlist.region(), half_sizes, 0.05,
+                                pool_ptr);
     optimizer.reset(positions);
     objective.initPenalties(optimizer.lookahead());
 

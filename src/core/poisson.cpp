@@ -5,11 +5,13 @@
 #include "math/dct.hpp"
 #include "math/fft.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qplacer {
 
-PoissonSolver::PoissonSolver(int nx, int ny, double width, double height)
-    : nx_(nx), ny_(ny), width_(width), height_(height)
+PoissonSolver::PoissonSolver(int nx, int ny, double width, double height,
+                             ThreadPool *pool)
+    : nx_(nx), ny_(ny), width_(width), height_(height), pool_(pool)
 {
     if (!Fft::isPowerOfTwo(static_cast<std::size_t>(nx)) ||
         !Fft::isPowerOfTwo(static_cast<std::size_t>(ny))) {
@@ -27,34 +29,6 @@ PoissonSolver::PoissonSolver(int nx, int ny, double width, double height)
         wv_[v] = std::numbers::pi * v / height;
 }
 
-template <typename Fn>
-void
-PoissonSolver::transformRows(std::vector<double> &map, Fn &&fn) const
-{
-    std::vector<double> row(nx_);
-    for (int iy = 0; iy < ny_; ++iy) {
-        double *base = map.data() + static_cast<std::size_t>(iy) * nx_;
-        row.assign(base, base + nx_);
-        const std::vector<double> out = fn(row);
-        for (int ix = 0; ix < nx_; ++ix)
-            base[ix] = out[ix];
-    }
-}
-
-template <typename Fn>
-void
-PoissonSolver::transformCols(std::vector<double> &map, Fn &&fn) const
-{
-    std::vector<double> col(ny_);
-    for (int ix = 0; ix < nx_; ++ix) {
-        for (int iy = 0; iy < ny_; ++iy)
-            col[iy] = map[static_cast<std::size_t>(iy) * nx_ + ix];
-        const std::vector<double> out = fn(col);
-        for (int iy = 0; iy < ny_; ++iy)
-            map[static_cast<std::size_t>(iy) * nx_ + ix] = out[iy];
-    }
-}
-
 PoissonSolver::Solution
 PoissonSolver::solve(const std::vector<double> &density) const
 {
@@ -64,68 +38,65 @@ PoissonSolver::solve(const std::vector<double> &density) const
 
     // Forward 2-D DCT of the density -> eigenbasis coefficients.
     std::vector<double> coeff = density;
-    transformRows(coeff, [](const std::vector<double> &v) {
-        return Dct::dct2(v);
-    });
-    transformCols(coeff, [](const std::vector<double> &v) {
-        return Dct::dct2(v);
-    });
+    Dct::transformRows(coeff, nx_, ny_, Dct::Kind::Dct2, pool_);
+    Dct::transformCols(coeff, nx_, ny_, Dct::Kind::Dct2, pool_);
     const double norm = 1.0 / (static_cast<double>(nx_) * ny_);
-    for (double &c : coeff)
-        c *= norm;
+    parallelFor(
+        pool_, cells,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                coeff[i] *= norm;
+        },
+        ThreadPool::kGrainFine);
 
     // Divide by the Laplacian eigenvalues; drop the DC term.
     std::vector<double> psi_coeff(cells, 0.0);
-    for (int v = 0; v < ny_; ++v) {
-        for (int u = 0; u < nx_; ++u) {
-            if (u == 0 && v == 0)
-                continue;
-            const double w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
-            psi_coeff[static_cast<std::size_t>(v) * nx_ + u] =
-                coeff[static_cast<std::size_t>(v) * nx_ + u] / w2;
-        }
-    }
+    parallelFor(
+        pool_, cells,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const int u = static_cast<int>(i % nx_);
+                const int v = static_cast<int>(i / nx_);
+                if (u == 0 && v == 0)
+                    continue;
+                const double w2 = wu_[u] * wu_[u] + wv_[v] * wv_[v];
+                psi_coeff[i] = coeff[i] / w2;
+            }
+        },
+        ThreadPool::kGrainFine);
 
     Solution sol;
 
     // Potential psi.
     sol.potential = psi_coeff;
-    transformRows(sol.potential, [](const std::vector<double> &v) {
-        return Dct::cosSeries(v);
-    });
-    transformCols(sol.potential, [](const std::vector<double> &v) {
-        return Dct::cosSeries(v);
-    });
+    Dct::transformRows(sol.potential, nx_, ny_, Dct::Kind::CosSeries,
+                       pool_);
+    Dct::transformCols(sol.potential, nx_, ny_, Dct::Kind::CosSeries,
+                       pool_);
 
     // Field xi_x: sine series in x of (w_u * psi_coeff).
     sol.fieldX.assign(cells, 0.0);
-    for (int v = 0; v < ny_; ++v) {
-        for (int u = 0; u < nx_; ++u) {
-            sol.fieldX[static_cast<std::size_t>(v) * nx_ + u] =
-                wu_[u] * psi_coeff[static_cast<std::size_t>(v) * nx_ + u];
-        }
-    }
-    transformRows(sol.fieldX, [](const std::vector<double> &v) {
-        return Dct::sinSeries(v);
-    });
-    transformCols(sol.fieldX, [](const std::vector<double> &v) {
-        return Dct::cosSeries(v);
-    });
+    parallelFor(
+        pool_, cells,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                sol.fieldX[i] = wu_[i % nx_] * psi_coeff[i];
+        },
+        ThreadPool::kGrainFine);
+    Dct::transformRows(sol.fieldX, nx_, ny_, Dct::Kind::SinSeries, pool_);
+    Dct::transformCols(sol.fieldX, nx_, ny_, Dct::Kind::CosSeries, pool_);
 
     // Field xi_y: sine series in y of (w_v * psi_coeff).
     sol.fieldY.assign(cells, 0.0);
-    for (int v = 0; v < ny_; ++v) {
-        for (int u = 0; u < nx_; ++u) {
-            sol.fieldY[static_cast<std::size_t>(v) * nx_ + u] =
-                wv_[v] * psi_coeff[static_cast<std::size_t>(v) * nx_ + u];
-        }
-    }
-    transformRows(sol.fieldY, [](const std::vector<double> &v) {
-        return Dct::cosSeries(v);
-    });
-    transformCols(sol.fieldY, [](const std::vector<double> &v) {
-        return Dct::sinSeries(v);
-    });
+    parallelFor(
+        pool_, cells,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                sol.fieldY[i] = wv_[i / nx_] * psi_coeff[i];
+        },
+        ThreadPool::kGrainFine);
+    Dct::transformRows(sol.fieldY, nx_, ny_, Dct::Kind::CosSeries, pool_);
+    Dct::transformCols(sol.fieldY, nx_, ny_, Dct::Kind::SinSeries, pool_);
 
     return sol;
 }

@@ -17,6 +17,8 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** Solves the screened-free Poisson problem on an nx x ny grid. */
 class PoissonSolver
 {
@@ -25,8 +27,13 @@ class PoissonSolver
      * @param nx, ny    Grid dimensions (powers of two).
      * @param width     Physical region width (um).
      * @param height    Physical region height (um).
+     * @param pool      Worker pool for the row/column transform passes
+     *                  (null = serial). Not owned; must outlive the
+     *                  solver. Results are bitwise-identical for any
+     *                  thread count (rows/columns are independent).
      */
-    PoissonSolver(int nx, int ny, double width, double height);
+    PoissonSolver(int nx, int ny, double width, double height,
+                  ThreadPool *pool = nullptr);
 
     /** Result maps, row-major (index = iy*nx + ix). */
     struct Solution
@@ -47,18 +54,11 @@ class PoissonSolver
     int ny() const { return ny_; }
 
   private:
-    /** Apply a 1-D transform along rows (x) of a row-major map. */
-    template <typename Fn>
-    void transformRows(std::vector<double> &map, Fn &&fn) const;
-
-    /** Apply a 1-D transform along columns (y) of a row-major map. */
-    template <typename Fn>
-    void transformCols(std::vector<double> &map, Fn &&fn) const;
-
     int nx_;
     int ny_;
     double width_;
     double height_;
+    ThreadPool *pool_; ///< Transform worker pool (null = serial).
     std::vector<double> wu_; ///< Eigen-frequencies along x.
     std::vector<double> wv_; ///< Eigen-frequencies along y.
 };

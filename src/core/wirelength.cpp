@@ -3,11 +3,13 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qplacer {
 
-WirelengthModel::WirelengthModel(const Netlist &netlist, double gamma)
-    : netlist_(netlist), gamma_(gamma)
+WirelengthModel::WirelengthModel(const Netlist &netlist, double gamma,
+                                 ThreadPool *pool)
+    : netlist_(netlist), gamma_(gamma), pool_(pool)
 {
     if (gamma <= 0.0)
         fatal("WirelengthModel: gamma must be positive");
@@ -26,7 +28,6 @@ WirelengthModel::evaluate(const std::vector<Vec2> &positions,
                           std::vector<Vec2> &gradient) const
 {
     gradient.assign(positions.size(), Vec2());
-    double total = 0.0;
 
     // For a 2-pin net the log-sum-exp wirelength reduces to the stable
     // closed form |d| + 2*gamma*log1p(exp(-|d|/gamma)) per axis, with
@@ -37,32 +38,81 @@ WirelengthModel::evaluate(const std::vector<Vec2> &positions,
         grad = std::tanh(d / (2.0 * gamma_));
     };
 
-    for (const Net &net : netlist_.nets()) {
-        const Vec2 &pa = positions[net.a];
-        const Vec2 &pb = positions[net.b];
-        double vx, gx, vy, gy;
-        axis(pa.x - pb.x, vx, gx);
-        axis(pa.y - pb.y, vy, gy);
-        total += net.weight * (vx + vy);
-        gradient[net.a].x += net.weight * gx;
-        gradient[net.a].y += net.weight * gy;
-        gradient[net.b].x -= net.weight * gx;
-        gradient[net.b].y -= net.weight * gy;
+    // Nets sharing an instance collide on the gradient, so each chunk
+    // scatters into a private slice (the output itself when a single
+    // chunk runs); the slices are then summed per instance in chunk
+    // order.
+    const auto &nets = netlist_.nets();
+    const std::size_t n = positions.size();
+    const int chunks = parallelChunkCount(pool_, nets.size(),
+                                          ThreadPool::kGrainMedium);
+    Vec2 *scratch = nullptr;
+    if (chunks > 1) {
+        gradScratch_.assign(static_cast<std::size_t>(chunks) * n, Vec2());
+        scratch = gradScratch_.data();
     }
+    std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+    parallelForChunks(
+        pool_, nets.size(),
+        [&](int chunk, std::size_t begin, std::size_t end) {
+            Vec2 *g = chunks == 1
+                          ? gradient.data()
+                          : scratch + static_cast<std::size_t>(chunk) * n;
+            double acc = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                const Net &net = nets[i];
+                const Vec2 &pa = positions[net.a];
+                const Vec2 &pb = positions[net.b];
+                double vx, gx, vy, gy;
+                axis(pa.x - pb.x, vx, gx);
+                axis(pa.y - pb.y, vy, gy);
+                acc += net.weight * (vx + vy);
+                g[net.a].x += net.weight * gx;
+                g[net.a].y += net.weight * gy;
+                g[net.b].x -= net.weight * gx;
+                g[net.b].y -= net.weight * gy;
+            }
+            partial[chunk] = acc;
+        },
+        ThreadPool::kGrainMedium);
+    if (chunks > 1) {
+        parallelFor(
+            pool_, n,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    Vec2 acc;
+                    for (int c = 0; c < chunks; ++c)
+                        acc += scratch[static_cast<std::size_t>(c) * n +
+                                       i];
+                    gradient[i] = acc;
+                }
+            },
+            ThreadPool::kGrainFine);
+    }
+    double total = 0.0;
+    for (double p : partial)
+        total += p;
     return total;
 }
 
 double
 WirelengthModel::hpwl(const std::vector<Vec2> &positions) const
 {
-    double total = 0.0;
-    for (const Net &net : netlist_.nets()) {
-        const Vec2 &pa = positions[net.a];
-        const Vec2 &pb = positions[net.b];
-        total += net.weight *
-                 (std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y));
-    }
-    return total;
+    const auto &nets = netlist_.nets();
+    return parallelReduce(
+        pool_, nets.size(),
+        [&](std::size_t begin, std::size_t end) {
+            double partial = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                const Net &net = nets[i];
+                const Vec2 &pa = positions[net.a];
+                const Vec2 &pb = positions[net.b];
+                partial += net.weight * (std::abs(pa.x - pb.x) +
+                                         std::abs(pa.y - pb.y));
+            }
+            return partial;
+        },
+        ThreadPool::kGrainMedium);
 }
 
 } // namespace qplacer

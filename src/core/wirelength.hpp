@@ -14,6 +14,8 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** Log-sum-exp smooth wirelength over the netlist's 2-pin nets. */
 class WirelengthModel
 {
@@ -22,8 +24,13 @@ class WirelengthModel
      * @param netlist Netlist whose nets are measured (kept by pointer;
      *                must outlive the model).
      * @param gamma   Smoothing parameter (um); smaller = closer to HPWL.
+     * @param pool    Worker pool (null = serial; not owned). Nets are
+     *                chunked and per-chunk gradients are reduced in
+     *                chunk order, so results are deterministic for a
+     *                fixed thread count.
      */
-    WirelengthModel(const Netlist &netlist, double gamma);
+    WirelengthModel(const Netlist &netlist, double gamma,
+                    ThreadPool *pool = nullptr);
 
     /**
      * Smooth wirelength of the current @p positions and its gradient.
@@ -45,6 +52,9 @@ class WirelengthModel
   private:
     const Netlist &netlist_;
     double gamma_;
+    ThreadPool *pool_;
+    /** Per-chunk gradient scatter buffers (chunks x instances). */
+    mutable std::vector<Vec2> gradScratch_;
 };
 
 } // namespace qplacer

@@ -22,10 +22,21 @@
 
 namespace qplacer {
 
+class ThreadPool;
+
 /** FFT-accelerated DCT/DST transform kit (static functions only). */
 class Dct
 {
   public:
+    /** 1-D kernel selector for the batched 2-D row/column passes. */
+    enum class Kind
+    {
+        Dct2,      ///< dct2()
+        Idct2,     ///< idct2()
+        CosSeries, ///< cosSeries()
+        SinSeries, ///< sinSeries()
+    };
+
     /** Forward DCT-II (unnormalized). */
     static std::vector<double> dct2(const std::vector<double> &x);
 
@@ -37,6 +48,22 @@ class Dct
 
     /** Sine eigen-series evaluation (see file comment). */
     static std::vector<double> sinSeries(const std::vector<double> &c);
+
+    /** Apply the 1-D kernel selected by @p kind to one vector. */
+    static std::vector<double> apply(Kind kind, const std::vector<double> &x);
+
+    /**
+     * Apply @p kind along every length-@p nx row of the row-major
+     * @p ny x @p nx map, rows chunked across @p pool (null = serial).
+     * Rows are independent, so the result is bitwise-identical for any
+     * thread count.
+     */
+    static void transformRows(std::vector<double> &map, int nx, int ny,
+                              Kind kind, ThreadPool *pool);
+
+    /** Column-wise counterpart of transformRows (length-@p ny cols). */
+    static void transformCols(std::vector<double> &map, int nx, int ny,
+                              Kind kind, ThreadPool *pool);
 
     /** O(N^2) reference implementations used to validate the fast paths. */
     static std::vector<double> dct2Direct(const std::vector<double> &x);

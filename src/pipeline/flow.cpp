@@ -1,6 +1,7 @@
 #include "pipeline/flow.hpp"
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace qplacer {
@@ -42,6 +43,12 @@ QplacerFlow::run(const Topology &topo) const
             builder.build(topo, result.freqs, params_.targetUtil);
 
         PlacerParams pp = params_.placer;
+        // Resolve the thread request once so the log reflects the
+        // effective pool size (0 = auto-detect).
+        pp.threads = ThreadPool::resolveThreadCount(pp.threads);
+        if (pp.threads > 1)
+            inform(str("global placement running on ", pp.threads,
+                       " threads"));
         LegalizerParams lp = params_.legalizer;
         lp.integrationParams.detuningThresholdHz =
             params_.assigner.detuningThresholdHz;

@@ -19,8 +19,9 @@ namespace qplacer {
 enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
 
 /**
- * Minimal global logger. Not thread-safe by design: the placer is
- * single-threaded and we avoid locking in hot paths.
+ * Minimal global logger. Not thread-safe by design: all logging happens
+ * on the driver thread, and ThreadPool parallel regions must not log
+ * (we avoid locking in hot paths).
  */
 class Logger
 {

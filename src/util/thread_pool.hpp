@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fixed-size worker pool with a deterministic parallel-for.
+ *
+ * The pool splits an index range [0, n) into exactly threads() chunks
+ * with boundaries that depend only on (n, threads()), runs one chunk
+ * per thread (chunk 0 on the caller), and lets the caller combine
+ * per-chunk partial results in chunk-index order. This makes every
+ * parallel region bitwise-deterministic for a fixed thread count and
+ * reproducible within floating-point tolerance across thread counts.
+ *
+ * With threads() == 1 (or a null pool passed to the free helpers) the
+ * range runs serially as a single chunk on the calling thread, which
+ * is bitwise-identical to the pre-threading code paths.
+ *
+ * Usage notes:
+ *  - parallelFor bodies must not throw for control flow; an escaping
+ *    exception is captured and rethrown on the caller after the region
+ *    completes, but the partial work is unspecified.
+ *  - Regions are not reentrant: a body must not start another region
+ *    on the same pool.
+ *  - The global Logger is not thread-safe; bodies must not log.
+ */
+
+#ifndef QPLACER_UTIL_THREAD_POOL_HPP
+#define QPLACER_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qplacer {
+
+/** Fixed pool of worker threads executing deterministic chunked loops. */
+class ThreadPool
+{
+  public:
+    /** Body of a chunked loop: (chunk index, begin, end). */
+    using ChunkBody = std::function<void(int, std::size_t, std::size_t)>;
+
+    /**
+     * @param threads Worker count; <= 0 picks resolveThreadCount(0)
+     *                (hardware concurrency, capped). A pool of size 1
+     *                spawns no threads and runs everything inline.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads (and chunks per region); always >= 1. */
+    int threads() const { return threads_; }
+
+    /**
+     * Map a requested thread count to an effective one: positive
+     * requests are honored (capped at kMaxThreads), zero or negative
+     * requests resolve to the hardware concurrency capped at
+     * kAutoThreadCap. Always >= 1.
+     */
+    static int resolveThreadCount(int requested);
+
+    /** Start of chunk @p chunk when [0, n) is split @p chunks ways. */
+    static std::size_t chunkBegin(std::size_t n, int chunks, int chunk);
+
+    /**
+     * Run @p body over [0, n) split into threads() fixed chunks, one
+     * per thread; chunk 0 runs on the calling thread. Returns after
+     * every chunk has finished. Empty chunks are skipped.
+     *
+     * When n < @p serial_below the whole range runs inline as a single
+     * chunk 0 instead: waking the workers costs more than the loop for
+     * tiny ranges. The decision depends only on (n, serial_below), so
+     * determinism for a fixed thread count is preserved.
+     */
+    void forChunks(std::size_t n, const ChunkBody &body,
+                   std::size_t serial_below = 0);
+
+    /** Hard cap on explicitly requested thread counts. */
+    static constexpr int kMaxThreads = 256;
+
+    /** Cap applied to the automatic (hardware concurrency) choice. */
+    static constexpr int kAutoThreadCap = 16;
+
+    /**
+     * Suggested serial_below thresholds by per-item cost. Calibrated
+     * against a region wake/join cost of ~10us: below these counts the
+     * serial loop beats waking the pool.
+     */
+    static constexpr std::size_t kGrainFine = 4096;  ///< Elementwise ops.
+    static constexpr std::size_t kGrainMedium = 256; ///< Per-instance/net.
+    static constexpr std::size_t kGrainCoarse = 64;  ///< 1-D transforms.
+
+  private:
+    void workerLoop(int chunk);
+
+    int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    const ChunkBody *job_ = nullptr; ///< Current region, valid in-region.
+    std::size_t jobN_ = 0;           ///< Range length of the region.
+    std::uint64_t generation_ = 0;   ///< Bumped once per region.
+    int pending_ = 0;                ///< Workers still inside the region.
+    std::exception_ptr firstError_;  ///< First body exception, if any.
+    bool stop_ = false;
+};
+
+/**
+ * Upper bound on the chunks a region over @p pool uses (1 for a null
+ * pool). Size per-chunk scratch buffers with this.
+ */
+int parallelChunks(const ThreadPool *pool);
+
+/**
+ * Chunk count a region over [0, n) actually uses: 1 for a null pool
+ * or when the serial_below cutoff applies, pool->threads() otherwise.
+ */
+int parallelChunkCount(const ThreadPool *pool, std::size_t n,
+                       std::size_t serial_below);
+
+/**
+ * Chunked loop over [0, n): body(chunk, begin, end). Serial single
+ * chunk when @p pool is null or n < @p serial_below; otherwise
+ * pool->forChunks.
+ */
+void parallelForChunks(ThreadPool *pool, std::size_t n,
+                       const ThreadPool::ChunkBody &body,
+                       std::size_t serial_below = 0);
+
+/** Plain parallel loop over [0, n): body(begin, end) per chunk. */
+void parallelFor(ThreadPool *pool, std::size_t n,
+                 const std::function<void(std::size_t, std::size_t)> &body,
+                 std::size_t serial_below = 0);
+
+/**
+ * Sum of body(begin, end) over all chunks, accumulated in chunk-index
+ * order so the result is deterministic for a fixed chunk count.
+ */
+double
+parallelReduce(ThreadPool *pool, std::size_t n,
+               const std::function<double(std::size_t, std::size_t)> &body,
+               std::size_t serial_below = 0);
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_THREAD_POOL_HPP

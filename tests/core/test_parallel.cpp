@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Serial-vs-parallel equivalence of the threaded hot path: batched
+ * DCT/IDCT passes, the Poisson solve, the density model, and full
+ * placement determinism for a fixed seed + thread count.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/density.hpp"
+#include "core/objective.hpp"
+#include "core/placer.hpp"
+#include "core/poisson.hpp"
+#include "freq/assigner.hpp"
+#include "math/dct.hpp"
+#include "netlist/builder.hpp"
+#include "topology/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qplacer {
+namespace {
+
+/** Reproducible pseudo-random map without <random> overhead. */
+std::vector<double>
+syntheticMap(std::size_t n, double scale)
+{
+    std::vector<double> map(n);
+    for (std::size_t i = 0; i < n; ++i)
+        map[i] = scale * std::sin(0.37 * static_cast<double>(i) + 1.1) +
+                 0.5 * std::cos(1.93 * static_cast<double>(i));
+    return map;
+}
+
+Netlist
+gridNetlist(int rows, int cols)
+{
+    const Topology topo = makeGrid(rows, cols);
+    const auto freqs = FrequencyAssigner().assign(topo);
+    return NetlistBuilder().build(topo, freqs);
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/**
+ * Batched row/column passes against the serial reference for every
+ * kernel kind. Row counts deliberately include odd batch sizes (the
+ * transform length itself must stay a power of two) and sizes on both
+ * sides of the kGrainCoarse serial cutoff.
+ */
+TEST(ParallelDct, BatchTransformsMatchSerialAcrossThreadCounts)
+{
+    const Dct::Kind kinds[] = {Dct::Kind::Dct2, Dct::Kind::Idct2,
+                               Dct::Kind::CosSeries, Dct::Kind::SinSeries};
+    struct Shape
+    {
+        int nx; ///< Transform length (power of two).
+        int ny; ///< Batch rows (odd and even on purpose).
+    };
+    const Shape shapes[] = {{16, 5}, {16, 8}, {32, 7}, {16, 64},
+                            {32, 65}, {64, 128}};
+    static_assert(ThreadPool::kGrainCoarse <= 64,
+                  "largest batches must exercise the threaded path");
+
+    for (const Shape &shape : shapes) {
+        const std::vector<double> input = syntheticMap(
+            static_cast<std::size_t>(shape.nx) * shape.ny, 2.0);
+        for (const Dct::Kind kind : kinds) {
+            std::vector<double> serial = input;
+            Dct::transformRows(serial, shape.nx, shape.ny, kind, nullptr);
+            for (const int threads : {1, 2, 8}) {
+                ThreadPool pool(threads);
+                std::vector<double> parallel = input;
+                Dct::transformRows(parallel, shape.nx, shape.ny, kind,
+                                   &pool);
+                // Rows are independent: any thread count must
+                // reproduce the serial pass bit for bit.
+                EXPECT_EQ(serial, parallel)
+                    << shape.nx << "x" << shape.ny << " rows, "
+                    << threads << " threads";
+            }
+        }
+    }
+}
+
+TEST(ParallelDct, BatchColumnsMatchSerialAcrossThreadCounts)
+{
+    // Columns of length 16 over odd and even column counts, straddling
+    // the serial cutoff.
+    for (const int nx : {5, 8, 65, 128}) {
+        const int ny = 16;
+        const std::vector<double> input =
+            syntheticMap(static_cast<std::size_t>(nx) * ny, 1.0);
+        std::vector<double> serial = input;
+        Dct::transformCols(serial, nx, ny, Dct::Kind::Dct2, nullptr);
+        for (const int threads : {2, 8}) {
+            ThreadPool pool(threads);
+            std::vector<double> parallel = input;
+            Dct::transformCols(parallel, nx, ny, Dct::Kind::Dct2, &pool);
+            EXPECT_EQ(serial, parallel) << threads << " threads";
+        }
+    }
+}
+
+TEST(ParallelDct, RoundTripSurvivesThreading)
+{
+    ThreadPool pool(8);
+    const int nx = 32;
+    const int ny = 65;
+    const std::vector<double> input =
+        syntheticMap(static_cast<std::size_t>(nx) * ny, 3.0);
+    std::vector<double> map = input;
+    Dct::transformRows(map, nx, ny, Dct::Kind::Dct2, &pool);
+    Dct::transformRows(map, nx, ny, Dct::Kind::Idct2, &pool);
+    EXPECT_LT(maxAbsDiff(map, input), 1e-9);
+}
+
+TEST(ParallelPoisson, SolutionMatchesSerialAcrossThreadCounts)
+{
+    // Odd/even mix is impossible for the grid itself (powers of two
+    // required), so cover square and non-square grids instead.
+    struct Shape
+    {
+        int nx;
+        int ny;
+    };
+    const Shape shapes[] = {{16, 16}, {32, 16}, {16, 32}, {64, 64}};
+
+    for (const Shape &shape : shapes) {
+        const std::vector<double> density = syntheticMap(
+            static_cast<std::size_t>(shape.nx) * shape.ny, 4.0);
+        const PoissonSolver serial(shape.nx, shape.ny, 1000.0, 800.0);
+        const PoissonSolver::Solution ref = serial.solve(density);
+
+        for (const int threads : {1, 2, 8}) {
+            ThreadPool pool(threads);
+            const PoissonSolver threaded(shape.nx, shape.ny, 1000.0,
+                                         800.0, &pool);
+            const PoissonSolver::Solution sol = threaded.solve(density);
+            EXPECT_LT(maxAbsDiff(sol.potential, ref.potential), 1e-9)
+                << shape.nx << "x" << shape.ny << " potential, "
+                << threads << " threads";
+            EXPECT_LT(maxAbsDiff(sol.fieldX, ref.fieldX), 1e-9)
+                << shape.nx << "x" << shape.ny << " fieldX, " << threads
+                << " threads";
+            EXPECT_LT(maxAbsDiff(sol.fieldY, ref.fieldY), 1e-9)
+                << shape.nx << "x" << shape.ny << " fieldY, " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(ParallelPoisson, FixedThreadCountIsBitwiseDeterministic)
+{
+    // 64x64 sits above the serial grain, so the threaded path runs.
+    const std::vector<double> density = syntheticMap(64 * 64, 4.0);
+    for (const int threads : {2, 8}) {
+        ThreadPool pool(threads);
+        const PoissonSolver solver(64, 64, 500.0, 500.0, &pool);
+        const PoissonSolver::Solution a = solver.solve(density);
+        const PoissonSolver::Solution b = solver.solve(density);
+        EXPECT_EQ(a.potential, b.potential) << threads << " threads";
+        EXPECT_EQ(a.fieldX, b.fieldX) << threads << " threads";
+        EXPECT_EQ(a.fieldY, b.fieldY) << threads << " threads";
+    }
+}
+
+TEST(ParallelDensity, EnergyAndGradientMatchSerial)
+{
+    const Netlist netlist = gridNetlist(5, 5);
+    // Large enough that the instance loops take the threaded path
+    // instead of the serial-grain fallback.
+    ASSERT_GE(netlist.instances().size(), ThreadPool::kGrainMedium);
+    std::vector<Vec2> positions(netlist.instances().size());
+    for (std::size_t i = 0; i < positions.size(); ++i)
+        positions[i] = netlist.instances()[i].pos;
+
+    DensityModel serial(netlist, 32, 0.9);
+    std::vector<Vec2> ref_grad;
+    const double ref_energy = serial.evaluate(positions, ref_grad);
+    const double ref_overflow = serial.overflow();
+
+    // Chunked splat/energy reductions reorder large-magnitude sums, so
+    // compare relative to the gradient scale: 1e-9 of the largest
+    // component (~1e-12 relative error in practice).
+    double scale = std::abs(ref_energy);
+    for (const Vec2 &g : ref_grad)
+        scale = std::max({scale, std::abs(g.x), std::abs(g.y)});
+    const double tol = 1e-9 * std::max(1.0, scale);
+
+    for (const int threads : {2, 8}) {
+        ThreadPool pool(threads);
+        DensityModel threaded(netlist, 32, 0.9, &pool);
+        std::vector<Vec2> grad;
+        const double energy = threaded.evaluate(positions, grad);
+        EXPECT_NEAR(energy, ref_energy, tol) << threads << " threads";
+        EXPECT_NEAR(threaded.overflow(), ref_overflow, 1e-12);
+        ASSERT_EQ(grad.size(), ref_grad.size());
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+            EXPECT_NEAR(grad[i].x, ref_grad[i].x, tol)
+                << threads << " threads, instance " << i;
+            EXPECT_NEAR(grad[i].y, ref_grad[i].y, tol)
+                << threads << " threads, instance " << i;
+        }
+    }
+}
+
+TEST(ParallelObjective, FullGradientMatchesSerial)
+{
+    // Exercises every threaded model at once: wirelength, density,
+    // frequency force, and the preconditioned combine. The netlist must
+    // exceed the serial grain or the chunked paths are never taken.
+    const Netlist netlist = gridNetlist(5, 5);
+    ASSERT_GE(netlist.instances().size(), ThreadPool::kGrainMedium);
+    ASSERT_GE(netlist.nets().size(), ThreadPool::kGrainMedium);
+    std::vector<Vec2> positions(netlist.instances().size());
+    for (std::size_t i = 0; i < positions.size(); ++i)
+        positions[i] = netlist.instances()[i].pos;
+
+    PlacerParams params;
+    PlacementObjective serial(netlist, params);
+    serial.initPenalties(positions);
+    std::vector<Vec2> ref_grad;
+    const auto ref = serial.evaluate(positions, ref_grad);
+
+    double scale = std::abs(ref.total);
+    for (const Vec2 &g : ref_grad)
+        scale = std::max({scale, std::abs(g.x), std::abs(g.y)});
+    const double tol = 1e-9 * std::max(1.0, scale);
+
+    for (const int threads : {2, 8}) {
+        ThreadPool pool(threads);
+        PlacementObjective threaded(netlist, params, &pool);
+        threaded.initPenalties(positions);
+        std::vector<Vec2> grad;
+        const auto out = threaded.evaluate(positions, grad);
+        EXPECT_NEAR(out.total, ref.total, tol) << threads << " threads";
+        ASSERT_EQ(grad.size(), ref_grad.size());
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+            EXPECT_NEAR(grad[i].x, ref_grad[i].x, tol)
+                << threads << " threads, instance " << i;
+            EXPECT_NEAR(grad[i].y, ref_grad[i].y, tol)
+                << threads << " threads, instance " << i;
+        }
+    }
+}
+
+TEST(ParallelPlacement, SameSeedAndThreadCountReproducesBitwise)
+{
+    for (const int threads : {2, 4}) {
+        PlacerParams params;
+        params.seed = 7;
+        params.threads = threads;
+        // grid5x5 exceeds the serial grain, so the chunked model paths
+        // really run.
+        Netlist a = gridNetlist(5, 5);
+        Netlist b = gridNetlist(5, 5);
+        GlobalPlacer(params).place(a);
+        GlobalPlacer(params).place(b);
+        ASSERT_EQ(a.numInstances(), b.numInstances());
+        for (int i = 0; i < a.numInstances(); ++i) {
+            EXPECT_DOUBLE_EQ(a.instance(i).pos.x, b.instance(i).pos.x)
+                << threads << " threads, instance " << i;
+            EXPECT_DOUBLE_EQ(a.instance(i).pos.y, b.instance(i).pos.y)
+                << threads << " threads, instance " << i;
+        }
+    }
+}
+
+TEST(ParallelPlacement, ThreadedRunStaysCloseToSerial)
+{
+    // Chunked reductions reorder floating-point sums, so thread counts
+    // may diverge over hundreds of iterations; both engines must still
+    // converge to a legal, spread-out layout of equivalent quality.
+    PlacerParams serial_params;
+    serial_params.seed = 11;
+    serial_params.threads = 1;
+    PlacerParams threaded_params = serial_params;
+    threaded_params.threads = 4;
+
+    Netlist serial_nl = gridNetlist(5, 5);
+    Netlist threaded_nl = gridNetlist(5, 5);
+    const PlaceResult serial_r =
+        GlobalPlacer(serial_params).place(serial_nl);
+    const PlaceResult threaded_r =
+        GlobalPlacer(threaded_params).place(threaded_nl);
+
+    EXPECT_TRUE(serial_r.converged);
+    EXPECT_TRUE(threaded_r.converged);
+    EXPECT_LT(threaded_r.finalOverflow, 0.08);
+    EXPECT_NEAR(serial_r.finalHpwl, threaded_r.finalHpwl,
+                0.25 * serial_r.finalHpwl);
+}
+
+} // namespace
+} // namespace qplacer

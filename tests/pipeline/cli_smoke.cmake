@@ -55,6 +55,28 @@ if(NOT svg_text MATCHES "</svg>")
     message(FATAL_ERROR "SVG is not closed with </svg>")
 endif()
 
+# --- Threaded run: --threads must work and reproduce the layout. ---
+# grid8x8 (~1400 instances, 64 bins) sits above every serial-grain
+# cutoff, so worker threads genuinely run; a capped iteration budget
+# keeps the smoke fast while still exercising hundreds of regions.
+set(layout_a "${WORK_DIR}/threads_a.txt")
+set(layout_b "${WORK_DIR}/threads_b.txt")
+foreach(layout IN ITEMS "${layout_a}" "${layout_b}")
+    execute_process(
+        COMMAND "${QPLACER_CLI}" --topology grid8x8 --seed 3 --threads 2
+                --set placer.maxIters=120 --layout "${layout}" --quiet
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "qplacer_cli --threads 2 exited ${rc}\n${err}")
+    endif()
+endforeach()
+file(READ "${layout_a}" text_a)
+file(READ "${layout_b}" text_b)
+if(NOT text_a STREQUAL text_b)
+    message(FATAL_ERROR "--threads 2 runs with the same seed diverged")
+endif()
+
 # --- Error path: unknown topology must fail cleanly. ---
 execute_process(
     COMMAND "${QPLACER_CLI}" --topology no-such-device --quiet

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * ThreadPool: chunking determinism, serial fallback, reductions, and
+ * error propagation.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+using namespace qplacer;
+
+TEST(ThreadPool, ResolveThreadCountHonorsExplicitRequests)
+{
+    EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(4), 4);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(ThreadPool::kMaxThreads + 50),
+              ThreadPool::kMaxThreads);
+}
+
+TEST(ThreadPool, ResolveThreadCountAutoIsCappedAndPositive)
+{
+    const int automatic = ThreadPool::resolveThreadCount(0);
+    EXPECT_GE(automatic, 1);
+    EXPECT_LE(automatic, ThreadPool::kAutoThreadCap);
+    EXPECT_EQ(ThreadPool::resolveThreadCount(-3), automatic);
+}
+
+TEST(ThreadPool, ChunkBoundsCoverRangeInOrder)
+{
+    for (const int chunks : {1, 2, 3, 7, 8}) {
+        for (const std::size_t n : {std::size_t(0), std::size_t(1),
+                                    std::size_t(5), std::size_t(64),
+                                    std::size_t(1000)}) {
+            EXPECT_EQ(ThreadPool::chunkBegin(n, chunks, 0), 0u);
+            EXPECT_EQ(ThreadPool::chunkBegin(n, chunks, chunks), n);
+            for (int c = 0; c < chunks; ++c) {
+                EXPECT_LE(ThreadPool::chunkBegin(n, chunks, c),
+                          ThreadPool::chunkBegin(n, chunks, c + 1));
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, ForChunksVisitsEveryIndexExactlyOnce)
+{
+    for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threads(), threads);
+        const std::size_t n = 137;
+        std::vector<std::atomic<int>> visits(n);
+        pool.forChunks(n, [&](int, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                visits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ForChunksHandlesFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> visits(3);
+    pool.forChunks(3, [&](int, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, NullPoolRunsSerially)
+{
+    std::vector<int> order;
+    parallelForChunks(nullptr, 10,
+                      [&](int chunk, std::size_t begin, std::size_t end) {
+                          EXPECT_EQ(chunk, 0);
+                          for (std::size_t i = begin; i < end; ++i)
+                              order.push_back(static_cast<int>(i));
+                      });
+    std::vector<int> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReduceIsDeterministicPerThreadCount)
+{
+    // Sums ill-conditioned enough that accumulation order matters in
+    // the last bits: identical runs must agree exactly.
+    const std::size_t n = 10000;
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = (i % 2 ? 1.0 : -1.0) * 1e12 / (1.0 + i);
+
+    auto sum_with = [&](ThreadPool *pool) {
+        return parallelReduce(pool, n,
+                              [&](std::size_t begin, std::size_t end) {
+                                  double acc = 0.0;
+                                  for (std::size_t i = begin; i < end; ++i)
+                                      acc += values[i];
+                                  return acc;
+                              });
+    };
+
+    const double serial = sum_with(nullptr);
+    for (const int threads : {2, 8}) {
+        ThreadPool pool(threads);
+        const double first = sum_with(&pool);
+        const double second = sum_with(&pool);
+        EXPECT_EQ(first, second) << threads << " threads";
+        EXPECT_NEAR(first, serial, 1e-3 * std::abs(serial) + 1e-9);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManyRegions)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+        const double sum = parallelReduce(
+            &pool, 100, [&](std::size_t begin, std::size_t end) {
+                double acc = 0.0;
+                for (std::size_t i = begin; i < end; ++i)
+                    acc += static_cast<double>(i);
+                return acc;
+            });
+        EXPECT_DOUBLE_EQ(sum, 4950.0);
+    }
+}
+
+TEST(ThreadPool, BodyExceptionPropagatesToCaller)
+{
+    for (const int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(
+            pool.forChunks(100,
+                           [&](int, std::size_t begin, std::size_t) {
+                               if (begin == 0)
+                                   throw std::runtime_error("chunk 0");
+                           }),
+            std::runtime_error);
+        // The pool must still be usable afterwards.
+        const double sum = parallelReduce(
+            &pool, 10, [](std::size_t begin, std::size_t end) {
+                return static_cast<double>(end - begin);
+            });
+        EXPECT_DOUBLE_EQ(sum, 10.0);
+    }
+}
+
+TEST(ThreadPool, EmptyRangeDoesNothing)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.forChunks(0, [&](int, std::size_t, std::size_t) {
+        called = true;
+    });
+    EXPECT_FALSE(called);
+    EXPECT_DOUBLE_EQ(parallelReduce(&pool, 0,
+                                    [](std::size_t, std::size_t) {
+                                        return 1.0;
+                                    }),
+                     0.0);
+}

@@ -12,6 +12,7 @@
  *   qplacer_cli --topology heavyhex3x9 --set placer.maxIters=300
  */
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -25,6 +26,7 @@
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qplacer {
 namespace {
@@ -34,6 +36,7 @@ struct CliOptions
     std::string topology = "Falcon";
     PlacerMode mode = PlacerMode::Qplacer;
     std::uint64_t seed = 1;
+    int threads = 0;
     double segmentUm = 300.0;
     Config overrides;
     std::string csvPath;
@@ -45,7 +48,8 @@ struct CliOptions
     bool help = false;
 };
 
-const char *kUsage = R"(qplacer_cli - frequency-aware quantum-chip placement driver
+const char *kUsage =
+    R"(qplacer_cli - frequency-aware quantum-chip placement driver
 
 Usage: qplacer_cli [options]
 
@@ -56,12 +60,17 @@ Options:
                       heavyhexRxW, octagonRxC.
   --mode MODE         qplacer | classic | human (default: qplacer).
   --seed N            RNG seed for the placer (default: 1).
+  --threads N         Worker threads for the placement hot path
+                      (default 0 = hardware concurrency, capped; 1 =
+                      serial). Same seed + thread count reproduces the
+                      placement bit for bit.
   --segment UM        Resonator segment size l_b in um (default: 300).
   --set KEY=VALUE     Override a flow parameter; repeatable. Keys:
                       targetUtil, placer.maxIters, placer.minIters,
                       placer.targetDensity, placer.bins,
                       placer.stopOverflow, placer.freqForce,
                       placer.freqWeight, placer.freqCutoffFactor,
+                      placer.threads,
                       assigner.distance2, assigner.detuningThresholdGHz,
                       legalizer.cellUm, legalizer.flowRefine,
                       legalizer.integration, hotspot.adjacencyTolUm.
@@ -85,6 +94,7 @@ const char *kKnownSetKeys[] = {
     "placer.freqForce",
     "placer.freqWeight",
     "placer.freqCutoffFactor",
+    "placer.threads",
     "assigner.distance2",
     "assigner.detuningThresholdGHz",
     "legalizer.cellUm",
@@ -132,7 +142,8 @@ parseUint(const std::string &value, const std::string &flag)
 {
     try {
         // std::stoull accepts and wraps a leading minus sign; reject it.
-        if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0])))
+        if (value.empty() ||
+            !std::isdigit(static_cast<unsigned char>(value[0])))
             throw std::invalid_argument(value);
         std::size_t consumed = 0;
         const std::uint64_t v = std::stoull(value, &consumed);
@@ -235,6 +246,7 @@ applyOverrides(const Config &cfg, FlowParams &params)
     pp.freqWeight = cfg.getDouble("placer.freqWeight", pp.freqWeight);
     pp.freqCutoffFactor =
         cfg.getDouble("placer.freqCutoffFactor", pp.freqCutoffFactor);
+    pp.threads = static_cast<int>(cfg.getInt("placer.threads", pp.threads));
 
     AssignerParams &ap = params.assigner;
     ap.distance2 = cfg.getBool("assigner.distance2", ap.distance2);
@@ -271,6 +283,9 @@ parseArgs(int argc, char **argv)
             opts.mode = parseMode(need(i, arg));
         } else if (arg == "--seed") {
             opts.seed = parseUint(need(i, arg), arg);
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<int>(std::min<std::uint64_t>(
+                parseUint(need(i, arg), arg), ThreadPool::kMaxThreads));
         } else if (arg == "--segment") {
             opts.segmentUm = parsePositiveDouble(need(i, arg), arg);
         } else if (arg == "--set") {
@@ -389,6 +404,7 @@ run(int argc, char **argv)
     params.mode = opts.mode;
     params.partition.segmentUm = opts.segmentUm;
     params.placer.seed = opts.seed;
+    params.placer.threads = opts.threads;
     applyOverrides(opts.overrides, params);
 
     const FlowResult result = QplacerFlow(params).run(topo);
