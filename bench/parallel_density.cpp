@@ -23,21 +23,12 @@
 #include "bench_common.hpp"
 #include "core/density.hpp"
 #include "core/poisson.hpp"
-#include "geometry/bin_grid.hpp"
-#include "topology/generators.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace qplacer;
 
 namespace {
-
-struct Workload
-{
-    std::string name;
-    Topology topo;
-    int bins;
-};
 
 double
 maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
@@ -71,23 +62,6 @@ solutionDiff(const PoissonSolver::Solution &a,
            scale;
 }
 
-/** Charge-density map of the netlist's current (warm-start) layout. */
-std::vector<double>
-densityMap(const Netlist &netlist, int bins)
-{
-    BinGrid grid(netlist.region(), bins, bins);
-    for (const Instance &inst : netlist.instances()) {
-        grid.splat(Rect::fromCenter(inst.pos, inst.paddedWidth(),
-                                    inst.paddedHeight()),
-                   inst.paddedArea());
-    }
-    std::vector<double> density = grid.data();
-    const double inv_bin_area = 1.0 / grid.binArea();
-    for (double &d : density)
-        d *= inv_bin_area;
-    return density;
-}
-
 } // namespace
 
 int
@@ -98,29 +72,17 @@ main(int argc, char **argv)
     const int reps =
         static_cast<int>(Config::envInt("QP_BENCH_REPS", 20));
 
-    std::vector<Workload> workloads;
-    workloads.push_back({"Eagle", makeTopology("Eagle"), 128});
-    // 1024 qubits: past every paper device, the north-star scale.
-    workloads.push_back({"grid32x32", makeGrid(32, 32), 256});
-
     CsvWriter csv(csv_path);
     csv.header({"topology", "qubits", "instances", "bins", "threads",
                 "reps", "solve_ms", "solve_speedup", "solve_rel_diff",
                 "evaluate_ms", "evaluate_speedup"});
 
     bench::banner("parallel density engine: serial vs. threaded");
-    for (const Workload &wl : workloads) {
-        FlowParams params;
-        const FrequencyAssigner assigner(params.assigner);
-        const auto freqs = assigner.assign(wl.topo);
-        const NetlistBuilder builder(params.partition);
-        const Netlist netlist =
-            builder.build(wl.topo, freqs, params.targetUtil);
-
-        std::vector<Vec2> positions(netlist.instances().size());
-        for (std::size_t i = 0; i < positions.size(); ++i)
-            positions[i] = netlist.instances()[i].pos;
-        const std::vector<double> density = densityMap(netlist, wl.bins);
+    for (const bench::SpectralWorkload &wl : bench::spectralWorkloads()) {
+        const bench::SpectralInstance prepared = bench::prepare(wl);
+        const Netlist &netlist = prepared.netlist;
+        const std::vector<Vec2> &positions = prepared.positions;
+        const std::vector<double> &density = prepared.density;
 
         std::printf("-- %s: %d qubits, %d instances, %dx%d bins\n",
                     wl.name.c_str(), wl.topo.numQubits(),

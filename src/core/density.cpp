@@ -10,11 +10,12 @@
 namespace qplacer {
 
 DensityModel::DensityModel(const Netlist &netlist, int bins,
-                           double target_density, ThreadPool *pool)
+                           double target_density, ThreadPool *pool,
+                           PoissonSolver::Path path)
     : netlist_(netlist),
       grid_(netlist.region(), bins, bins),
       solver_(bins, bins, netlist.region().width(),
-              netlist.region().height(), pool),
+              netlist.region().height(), pool, path),
       targetDensity_(target_density),
       pool_(pool)
 {

@@ -4,14 +4,16 @@
 
 #include "math/dct.hpp"
 #include "math/fft.hpp"
+#include "math/plan_cache.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qplacer {
 
 PoissonSolver::PoissonSolver(int nx, int ny, double width, double height,
-                             ThreadPool *pool)
-    : nx_(nx), ny_(ny), width_(width), height_(height), pool_(pool)
+                             ThreadPool *pool, Path path)
+    : nx_(nx), ny_(ny), width_(width), height_(height), pool_(pool),
+      path_(path)
 {
     if (!Fft::isPowerOfTwo(static_cast<std::size_t>(nx)) ||
         !Fft::isPowerOfTwo(static_cast<std::size_t>(ny))) {
@@ -27,6 +29,11 @@ PoissonSolver::PoissonSolver(int nx, int ny, double width, double height,
         wu_[u] = std::numbers::pi * u / width;
     for (int v = 0; v < ny; ++v)
         wv_[v] = std::numbers::pi * v / height;
+
+    // One plan per transform length, shared process-wide; solvers on
+    // the same grid size all execute from the same tables.
+    rowPlan_ = PlanCache::dct(static_cast<std::size_t>(nx));
+    colPlan_ = PlanCache::dct(static_cast<std::size_t>(ny));
 }
 
 PoissonSolver::Solution
@@ -36,10 +43,27 @@ PoissonSolver::solve(const std::vector<double> &density) const
     if (density.size() != cells)
         panic("PoissonSolver::solve: density map size mismatch");
 
+    // Row/column transform passes on the selected execution path (the
+    // two are bitwise-identical; Unplanned is the benchmark baseline).
+    const auto rows = [&](std::vector<double> &map, Dct::Kind kind) {
+        if (path_ == Path::Planned)
+            rowPlan_->transformRows(map, nx_, ny_, kind, pool_,
+                                    scratch_);
+        else
+            Dct::transformRowsUnplanned(map, nx_, ny_, kind, pool_);
+    };
+    const auto cols = [&](std::vector<double> &map, Dct::Kind kind) {
+        if (path_ == Path::Planned)
+            colPlan_->transformCols(map, nx_, ny_, kind, pool_,
+                                    scratch_);
+        else
+            Dct::transformColsUnplanned(map, nx_, ny_, kind, pool_);
+    };
+
     // Forward 2-D DCT of the density -> eigenbasis coefficients.
     std::vector<double> coeff = density;
-    Dct::transformRows(coeff, nx_, ny_, Dct::Kind::Dct2, pool_);
-    Dct::transformCols(coeff, nx_, ny_, Dct::Kind::Dct2, pool_);
+    rows(coeff, Dct::Kind::Dct2);
+    cols(coeff, Dct::Kind::Dct2);
     const double norm = 1.0 / (static_cast<double>(nx_) * ny_);
     parallelFor(
         pool_, cells,
@@ -69,10 +93,8 @@ PoissonSolver::solve(const std::vector<double> &density) const
 
     // Potential psi.
     sol.potential = psi_coeff;
-    Dct::transformRows(sol.potential, nx_, ny_, Dct::Kind::CosSeries,
-                       pool_);
-    Dct::transformCols(sol.potential, nx_, ny_, Dct::Kind::CosSeries,
-                       pool_);
+    rows(sol.potential, Dct::Kind::CosSeries);
+    cols(sol.potential, Dct::Kind::CosSeries);
 
     // Field xi_x: sine series in x of (w_u * psi_coeff).
     sol.fieldX.assign(cells, 0.0);
@@ -83,8 +105,8 @@ PoissonSolver::solve(const std::vector<double> &density) const
                 sol.fieldX[i] = wu_[i % nx_] * psi_coeff[i];
         },
         ThreadPool::kGrainFine);
-    Dct::transformRows(sol.fieldX, nx_, ny_, Dct::Kind::SinSeries, pool_);
-    Dct::transformCols(sol.fieldX, nx_, ny_, Dct::Kind::CosSeries, pool_);
+    rows(sol.fieldX, Dct::Kind::SinSeries);
+    cols(sol.fieldX, Dct::Kind::CosSeries);
 
     // Field xi_y: sine series in y of (w_v * psi_coeff).
     sol.fieldY.assign(cells, 0.0);
@@ -95,8 +117,8 @@ PoissonSolver::solve(const std::vector<double> &density) const
                 sol.fieldY[i] = wv_[i / nx_] * psi_coeff[i];
         },
         ThreadPool::kGrainFine);
-    Dct::transformRows(sol.fieldY, nx_, ny_, Dct::Kind::CosSeries, pool_);
-    Dct::transformCols(sol.fieldY, nx_, ny_, Dct::Kind::SinSeries, pool_);
+    rows(sol.fieldY, Dct::Kind::CosSeries);
+    cols(sol.fieldY, Dct::Kind::SinSeries);
 
     return sol;
 }

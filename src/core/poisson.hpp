@@ -8,12 +8,22 @@
  * by expanding rho in the cosine eigenbasis cos(w_u x) cos(w_v y),
  * dividing by (w_u^2 + w_v^2), and evaluating the potential psi and the
  * field xi = -grad(psi) via the DCT/DST kernels in math/dct.
+ *
+ * The solver grabs the cached DctPlans for its row/column lengths at
+ * construction and runs every transform pass through them with owned,
+ * reusable scratch (see math/dct_plan): after the first solve no pass
+ * allocates. The plan-free PR-2 kernels remain reachable via
+ * Path::Unplanned for benchmarking and equivalence testing; both paths
+ * produce bitwise-identical solutions.
  */
 
 #ifndef QPLACER_CORE_POISSON_HPP
 #define QPLACER_CORE_POISSON_HPP
 
+#include <memory>
 #include <vector>
+
+#include "math/dct_plan.hpp"
 
 namespace qplacer {
 
@@ -23,6 +33,13 @@ class ThreadPool;
 class PoissonSolver
 {
   public:
+    /** Which DCT execution path solve() uses. */
+    enum class Path
+    {
+        Planned,   ///< Cached DctPlan + reusable scratch (default).
+        Unplanned, ///< Plan-free reference kernels (per-call alloc).
+    };
+
     /**
      * @param nx, ny    Grid dimensions (powers of two).
      * @param width     Physical region width (um).
@@ -31,9 +48,11 @@ class PoissonSolver
      *                  (null = serial). Not owned; must outlive the
      *                  solver. Results are bitwise-identical for any
      *                  thread count (rows/columns are independent).
+     * @param path      DCT execution path; Unplanned exists for the
+     *                  planned-vs-unplanned benchmark and tests.
      */
     PoissonSolver(int nx, int ny, double width, double height,
-                  ThreadPool *pool = nullptr);
+                  ThreadPool *pool = nullptr, Path path = Path::Planned);
 
     /** Result maps, row-major (index = iy*nx + ix). */
     struct Solution
@@ -47,11 +66,18 @@ class PoissonSolver
      * Solve for the given density map (row-major, size nx*ny). The mean
      * (DC) component is dropped, as standard: only deviations from the
      * average density generate forces.
+     *
+     * Reuses the solver's internal transform scratch: concurrent
+     * solve() calls on the same instance must be externally
+     * synchronized (distinct instances are independent).
      */
     Solution solve(const std::vector<double> &density) const;
 
     int nx() const { return nx_; }
     int ny() const { return ny_; }
+
+    /** Execution path selected at construction. */
+    Path path() const { return path_; }
 
   private:
     int nx_;
@@ -59,8 +85,12 @@ class PoissonSolver
     double width_;
     double height_;
     ThreadPool *pool_; ///< Transform worker pool (null = serial).
+    Path path_;
     std::vector<double> wu_; ///< Eigen-frequencies along x.
     std::vector<double> wv_; ///< Eigen-frequencies along y.
+    std::shared_ptr<const DctPlan> rowPlan_; ///< Plan for length nx.
+    std::shared_ptr<const DctPlan> colPlan_; ///< Plan for length ny.
+    mutable DctScratch scratch_; ///< Per-chunk transform workspaces.
 };
 
 } // namespace qplacer

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "math/fft.hpp"
+#include "math/plan_cache.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -122,6 +123,24 @@ void
 Dct::transformRows(std::vector<double> &map, int nx, int ny, Kind kind,
                    ThreadPool *pool)
 {
+    DctScratch scratch;
+    PlanCache::dct(static_cast<std::size_t>(nx))
+        ->transformRows(map, nx, ny, kind, pool, scratch);
+}
+
+void
+Dct::transformCols(std::vector<double> &map, int nx, int ny, Kind kind,
+                   ThreadPool *pool)
+{
+    DctScratch scratch;
+    PlanCache::dct(static_cast<std::size_t>(ny))
+        ->transformCols(map, nx, ny, kind, pool, scratch);
+}
+
+void
+Dct::transformRowsUnplanned(std::vector<double> &map, int nx, int ny,
+                            Kind kind, ThreadPool *pool)
+{
     if (map.size() != static_cast<std::size_t>(nx) * ny)
         panic(str("Dct::transformRows: map size ", map.size(),
                   " != ", nx, "x", ny));
@@ -141,8 +160,8 @@ Dct::transformRows(std::vector<double> &map, int nx, int ny, Kind kind,
 }
 
 void
-Dct::transformCols(std::vector<double> &map, int nx, int ny, Kind kind,
-                   ThreadPool *pool)
+Dct::transformColsUnplanned(std::vector<double> &map, int nx, int ny,
+                            Kind kind, ThreadPool *pool)
 {
     if (map.size() != static_cast<std::size_t>(nx) * ny)
         panic(str("Dct::transformCols: map size ", map.size(),

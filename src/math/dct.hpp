@@ -13,6 +13,11 @@
  * cosSeries evaluates a Neumann-boundary eigenfunction expansion on the
  * half-sample grid; sinSeries is its x-derivative counterpart (used for
  * the electric field). All lengths must be powers of two.
+ *
+ * The 1-D kernels here allocate workspaces per call and serve as the
+ * reference implementations; the batched row/column passes execute
+ * through the cached DctPlan (math/dct_plan, math/plan_cache), which
+ * is bitwise-identical but reuses precomputed tables and scratch.
  */
 
 #ifndef QPLACER_MATH_DCT_HPP
@@ -57,6 +62,10 @@ class Dct
      * @p ny x @p nx map, rows chunked across @p pool (null = serial).
      * Rows are independent, so the result is bitwise-identical for any
      * thread count.
+     *
+     * Routed through the cached DctPlan for @p nx (see math/dct_plan);
+     * callers in a hot loop should hold the plan and a DctScratch
+     * themselves to also reuse the workspaces across calls.
      */
     static void transformRows(std::vector<double> &map, int nx, int ny,
                               Kind kind, ThreadPool *pool);
@@ -64,6 +73,21 @@ class Dct
     /** Column-wise counterpart of transformRows (length-@p ny cols). */
     static void transformCols(std::vector<double> &map, int nx, int ny,
                               Kind kind, ThreadPool *pool);
+
+    /**
+     * Plan-free reference row pass: per-row apply() with per-call
+     * workspaces (the pre-plan implementation). Kept for the
+     * plan-equivalence tests and the planned-vs-unplanned benchmark;
+     * bitwise-identical to transformRows.
+     */
+    static void transformRowsUnplanned(std::vector<double> &map, int nx,
+                                       int ny, Kind kind,
+                                       ThreadPool *pool);
+
+    /** Plan-free reference column pass (see transformRowsUnplanned). */
+    static void transformColsUnplanned(std::vector<double> &map, int nx,
+                                       int ny, Kind kind,
+                                       ThreadPool *pool);
 
     /** O(N^2) reference implementations used to validate the fast paths. */
     static std::vector<double> dct2Direct(const std::vector<double> &x);

@@ -5,6 +5,12 @@
  * Implemented from scratch (no external FFT dependency); used by the DCT/
  * DST transforms that back the spectral Poisson solver in the density
  * force (src/core/poisson).
+ *
+ * This is the plan-free reference kernel: it re-derives twiddles on
+ * every call. The hot paths execute through FftPlan (math/fft_plan),
+ * which precomputes the same tables once per length and is asserted
+ * bitwise-identical to this implementation by the plan-equivalence
+ * tests.
  */
 
 #ifndef QPLACER_MATH_FFT_HPP
