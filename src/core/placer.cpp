@@ -19,6 +19,16 @@ GlobalPlacer::GlobalPlacer(PlacerParams params)
 PlaceResult
 GlobalPlacer::place(Netlist &netlist) const
 {
+    // One pool for the whole run; every model shares it so the hot
+    // path never spawns threads mid-iteration.
+    ThreadPool pool(params_.threads);
+    return place(netlist, pool.threads() > 1 ? &pool : nullptr);
+}
+
+PlaceResult
+GlobalPlacer::place(Netlist &netlist, ThreadPool *pool,
+                    const PlaceMonitor &monitor) const
+{
     Timer timer;
     PlaceResult result;
 
@@ -45,10 +55,7 @@ GlobalPlacer::place(Netlist &netlist) const
                              instances[i].paddedHeight() / 2.0);
     }
 
-    // One pool for the whole run; every model shares it so the hot
-    // path never spawns threads mid-iteration.
-    ThreadPool pool(params_.threads);
-    ThreadPool *pool_ptr = pool.threads() > 1 ? &pool : nullptr;
+    ThreadPool *pool_ptr = pool && pool->threads() > 1 ? pool : nullptr;
 
     PlacementObjective objective(netlist, params_, pool_ptr);
     NesterovOptimizer optimizer(netlist.region(), half_sizes, 0.05,
@@ -62,9 +69,20 @@ GlobalPlacer::place(Netlist &netlist) const
     int since_improvement = 0;
     int iter = 0;
     for (; iter < params_.maxIters; ++iter) {
+        // Cooperative cancellation: poll at the top so a cancelled run
+        // never pays for another full objective evaluation.
+        if (monitor.cancel && monitor.cancel->cancelled()) {
+            result.cancelled = true;
+            break;
+        }
         objective.updateGamma(overflow);
         objective.evaluate(optimizer.lookahead(), gradient);
         overflow = objective.overflow();
+
+        if (monitor.onIteration) {
+            monitor.onIteration({iter, overflow, objective.lambda(),
+                                 objective.freqLambda()});
+        }
 
         if (iter >= params_.minIters && overflow < params_.stopOverflow) {
             result.converged = true;

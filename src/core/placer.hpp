@@ -8,10 +8,15 @@
 #ifndef QPLACER_CORE_PLACER_HPP
 #define QPLACER_CORE_PLACER_HPP
 
+#include <functional>
+
 #include "core/params.hpp"
 #include "netlist/netlist.hpp"
+#include "util/cancel.hpp"
 
 namespace qplacer {
+
+class ThreadPool;
 
 /** Outcome of a global placement run. */
 struct PlaceResult
@@ -21,6 +26,28 @@ struct PlaceResult
     double finalHpwl = 0.0;
     double seconds = 0.0;
     bool converged = false;
+    bool cancelled = false; ///< Stopped early by a CancelToken.
+};
+
+/** Per-iteration progress snapshot delivered to a PlaceMonitor. */
+struct PlaceProgress
+{
+    int iteration = 0;       ///< 0-based Nesterov iteration index.
+    double overflow = 1.0;   ///< Density overflow after evaluate().
+    double lambda = 0.0;     ///< Current density penalty weight.
+    double freqLambda = 0.0; ///< Current frequency penalty weight.
+};
+
+/**
+ * Optional hooks into the optimization loop: an iteration callback
+ * (invoked once per iteration, after the objective evaluation) and a
+ * cooperative cancellation token polled at the top of each iteration.
+ * Both are borrowed pointers/functions and must outlive place().
+ */
+struct PlaceMonitor
+{
+    std::function<void(const PlaceProgress &)> onIteration;
+    const CancelToken *cancel = nullptr;
 };
 
 /** The frequency-aware electrostatic global placer. */
@@ -31,9 +58,22 @@ class GlobalPlacer
 
     /**
      * Place @p netlist in-place: instance positions are updated to the
-     * optimized (pre-legalization) solution.
+     * optimized (pre-legalization) solution. Owns a private worker pool
+     * sized from params().threads for the duration of the call.
      */
     PlaceResult place(Netlist &netlist) const;
+
+    /**
+     * place() with an injected worker pool (null = serial, regardless
+     * of params().threads) and optional monitor hooks. Sessions pass a
+     * long-lived pool here so repeated placements never re-spawn
+     * threads; results are bitwise-identical to the owning overload
+     * whenever the pool size matches the resolved params().threads.
+     * On cancellation the current (last-iterate) solution is written
+     * back and the result carries cancelled = true.
+     */
+    PlaceResult place(Netlist &netlist, ThreadPool *pool,
+                      const PlaceMonitor &monitor = {}) const;
 
     const PlacerParams &params() const { return params_; }
 

@@ -17,7 +17,8 @@ Legalizer::Legalizer(LegalizerParams params)
 }
 
 bool
-Legalizer::attempt(Netlist &netlist, LegalizeResult &result) const
+Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
+                   const CancelToken *cancel) const
 {
     result = LegalizeResult{};
     OccupancyGrid grid(netlist.region(), params_.cellUm);
@@ -64,6 +65,10 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result) const
     }
 
     // --- Stage 2: segments (Tetris). ---
+    if (cancel && cancel->cancelled()) {
+        result.cancelled = true;
+        return true;
+    }
     if (!tetrisLegalizeSegments(netlist, grid,
                                 params_.integrationParams,
                                 result.segmentDisplacementUm)) {
@@ -71,6 +76,10 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result) const
     }
 
     // --- Stage 3: integration-aware repair. ---
+    if (cancel && cancel->cancelled()) {
+        result.cancelled = true;
+        return true;
+    }
     if (params_.integration) {
         IntegrationLegalizer integrator(params_.integrationParams);
         result.integration = integrator.run(netlist, grid);
@@ -79,7 +88,7 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result) const
 }
 
 LegalizeResult
-Legalizer::legalize(Netlist &netlist) const
+Legalizer::legalize(Netlist &netlist, const CancelToken *cancel) const
 {
     // Snapshot the global-placement solution so retries with a larger
     // region restart from the same input.
@@ -90,6 +99,10 @@ Legalizer::legalize(Netlist &netlist) const
 
     LegalizeResult result;
     for (int attempt_idx = 0; attempt_idx < 4; ++attempt_idx) {
+        if (cancel && cancel->cancelled()) {
+            result.cancelled = true;
+            return result;
+        }
         if (attempt_idx > 0) {
             // The region was too fragmented: grow it by 8% per retry
             // (A_mer is measured from the final bounding box, so slack
@@ -107,7 +120,9 @@ Legalizer::legalize(Netlist &netlist) const
             warn(str("Legalizer: retrying with region grown ",
                      (grow - 1.0) * 100.0, "%"));
         }
-        if (attempt(netlist, result)) {
+        if (attempt(netlist, result, cancel)) {
+            if (result.cancelled)
+                return result;
             result.legal = isLegal(netlist);
             if (!result.legal)
                 warn("Legalizer: layout has residual overlaps");

@@ -12,6 +12,7 @@
 #include "legal/integration.hpp"
 #include "legal/occupancy.hpp"
 #include "netlist/netlist.hpp"
+#include "util/cancel.hpp"
 
 namespace qplacer {
 
@@ -37,7 +38,8 @@ struct LegalizeResult
     double qubitDisplacementUm = 0.0;
     double segmentDisplacementUm = 0.0;
     IntegrationLegalizer::Result integration;
-    bool legal = false; ///< No padded-footprint overlaps at exit.
+    bool legal = false;     ///< No padded-footprint overlaps at exit.
+    bool cancelled = false; ///< Stopped early by a CancelToken.
 };
 
 /** End-to-end legalizer. */
@@ -49,9 +51,12 @@ class Legalizer
     /**
      * Legalize @p netlist in place. If the region is too fragmented to
      * fit everything, it is grown by 8% steps (up to 3 retries) before
-     * giving up with fatal().
+     * giving up with fatal(). @p cancel (optional) is polled at pass
+     * boundaries; on cancellation the partially legalized layout is
+     * left in place and the result carries cancelled = true.
      */
-    LegalizeResult legalize(Netlist &netlist) const;
+    LegalizeResult legalize(Netlist &netlist,
+                            const CancelToken *cancel = nullptr) const;
 
     /**
      * Verify no two padded footprints overlap (with small tolerance)
@@ -61,7 +66,8 @@ class Legalizer
 
   private:
     /** One legalization pass; false if the region ran out of room. */
-    bool attempt(Netlist &netlist, LegalizeResult &result) const;
+    bool attempt(Netlist &netlist, LegalizeResult &result,
+                 const CancelToken *cancel) const;
 
     LegalizerParams params_;
 };

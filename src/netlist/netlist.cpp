@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.hpp"
 
@@ -148,6 +149,21 @@ Netlist::validate() const
             }
         }
     }
+}
+
+bool
+bitwiseSameLayout(const Netlist &a, const Netlist &b)
+{
+    if (a.numInstances() != b.numInstances())
+        return false;
+    for (int i = 0; i < a.numInstances(); ++i) {
+        const Vec2 pa = a.instances()[i].pos;
+        const Vec2 pb = b.instances()[i].pos;
+        if (std::memcmp(&pa.x, &pb.x, sizeof(double)) != 0 ||
+            std::memcmp(&pa.y, &pb.y, sizeof(double)) != 0)
+            return false;
+    }
+    return true;
 }
 
 } // namespace qplacer

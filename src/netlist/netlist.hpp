@@ -150,6 +150,13 @@ class Netlist
     int numQubits_ = 0;
 };
 
+/**
+ * Bitwise instance-position equality (memcmp, not FP tolerance) --
+ * the determinism contract the engine guarantees for a fixed seed and
+ * thread count, and PlacementSession's batch-vs-serial gate.
+ */
+bool bitwiseSameLayout(const Netlist &a, const Netlist &b);
+
 } // namespace qplacer
 
 #endif // QPLACER_NETLIST_NETLIST_HPP

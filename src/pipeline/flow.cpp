@@ -1,8 +1,13 @@
 #include "pipeline/flow.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "pipeline/context.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace qplacer {
 
@@ -25,56 +30,116 @@ placerModeName(PlacerMode mode)
     return "?";
 }
 
+FlowParams
+FlowParams::normalized(std::string *error) const
+{
+    FlowParams p = *this;
+    std::string first_error;
+    const auto check = [&](bool ok, const char *msg) {
+        if (!ok && first_error.empty())
+            first_error = msg;
+    };
+
+    check(targetUtil > 0.0 && targetUtil <= 1.0,
+          "FlowParams: targetUtil must be in (0, 1]");
+    check(partition.segmentUm > 0.0,
+          "FlowParams: partition.segmentUm must be positive");
+    check(partition.wireWidthUm > 0.0,
+          "FlowParams: partition.wireWidthUm must be positive");
+    check(partition.qubitPadUm >= 0.0 && partition.resonatorPadUm >= 0.0,
+          "FlowParams: partition pads must be non-negative");
+    check(placer.targetDensity > 0.0 && placer.targetDensity <= 1.0,
+          "FlowParams: placer.targetDensity must be in (0, 1]");
+    check(placer.maxIters >= 1,
+          "FlowParams: placer.maxIters must be at least 1");
+    check(placer.minIters >= 0,
+          "FlowParams: placer.minIters must be non-negative");
+    check(placer.stopOverflow >= 0.0,
+          "FlowParams: placer.stopOverflow must be non-negative");
+    check(placer.gammaFrac > 0.0,
+          "FlowParams: placer.gammaFrac must be positive");
+    check(placer.lambdaGrowth >= 1.0 && placer.freqLambdaGrowth >= 1.0,
+          "FlowParams: penalty growth factors must be >= 1");
+    check(placer.bins >= 0, "FlowParams: placer.bins must be >= 0");
+    check(placer.jitterFrac >= 0.0,
+          "FlowParams: placer.jitterFrac must be non-negative");
+    check(assigner.detuningThresholdHz > 0.0,
+          "FlowParams: assigner.detuningThresholdHz must be positive");
+    check(assigner.qubitBand.span() > 0.0,
+          "FlowParams: assigner.qubitBand must have positive span");
+    check(assigner.resonatorBand.span() > 0.0,
+          "FlowParams: assigner.resonatorBand must have positive span");
+    check(legalizer.cellUm > 0.0,
+          "FlowParams: legalizer.cellUm must be positive");
+    check(legalizer.integrationParams.maxRounds >= 0,
+          "FlowParams: legalizer.integrationParams.maxRounds must be >= 0");
+    check(legalizer.integrationParams.adjacencyTolUm >= 0.0 &&
+              legalizer.integrationParams.probeTolUm >= 0.0,
+          "FlowParams: integration tolerances must be non-negative");
+    check(hotspot.adjacencyTolUm >= 0.0,
+          "FlowParams: hotspot.adjacencyTolUm must be non-negative");
+
+    if (error)
+        *error = first_error;
+    else if (!first_error.empty())
+        fatal(first_error);
+
+    // The assigner's detuning threshold is the single source of truth:
+    // the collision map the placer pushes apart, the tau check the
+    // integration legalizer validates against, and the hotspot metric
+    // must all judge resonance exactly like the frequencies were
+    // assigned (flow.cpp and qplacer_cli used to hand-copy these).
+    p.placer.detuningThresholdHz = assigner.detuningThresholdHz;
+    p.legalizer.integrationParams.detuningThresholdHz =
+        assigner.detuningThresholdHz;
+    p.hotspot.detuningThresholdHz = assigner.detuningThresholdHz;
+
+    // The region is sized once, from the flow-level utilization target.
+    p.placer.targetUtil = targetUtil;
+
+    // minIters is a convergence floor under the iteration budget;
+    // callers routinely lower only maxIters (quick runs, sweeps), so a
+    // budget below the default floor implies a lowered floor, not a
+    // configuration error.
+    p.placer.minIters = std::min(p.placer.minIters, p.placer.maxIters);
+
+    if (mode == PlacerMode::Classic) {
+        // Classic: the same engine and hyper-parameters, minus every
+        // frequency-aware ingredient (Section V-B).
+        p.placer.freqForce = false;
+        p.legalizer.integrationParams.resonanceCheck = false;
+    }
+    return p;
+}
+
 FlowResult
 QplacerFlow::run(const Topology &topo) const
 {
-    Timer timer;
-    FlowResult result;
+    // No error out-param: invalid configuration fatal()s, matching the
+    // pre-session API (PlacementSession reports via FlowResult::status).
+    const FlowParams normalized = params_.normalized();
 
-    const FrequencyAssigner assigner(params_.assigner);
-    result.freqs = assigner.assign(topo);
+    FlowContext ctx;
+    ctx.topo = &topo;
+    ctx.params = normalized;
 
-    if (params_.mode == PlacerMode::Human) {
-        const HumanPlacer human(params_.partition);
-        result.netlist = human.place(topo, result.freqs);
-    } else {
-        const NetlistBuilder builder(params_.partition);
-        result.netlist =
-            builder.build(topo, result.freqs, params_.targetUtil);
-
-        PlacerParams pp = params_.placer;
-        // Resolve the thread request once so the log reflects the
-        // effective pool size (0 = auto-detect).
-        pp.threads = ThreadPool::resolveThreadCount(pp.threads);
-        if (pp.threads > 1)
-            inform(str("global placement running on ", pp.threads,
-                       " threads"));
-        LegalizerParams lp = params_.legalizer;
-        lp.integrationParams.detuningThresholdHz =
-            params_.assigner.detuningThresholdHz;
-        if (params_.mode == PlacerMode::Classic) {
-            // Classic: the same engine and hyper-parameters, minus every
-            // frequency-aware ingredient (Section V-B).
-            pp.freqForce = false;
-            lp.integrationParams.resonanceCheck = false;
-        }
-
-        const GlobalPlacer placer(pp);
-        result.place = placer.place(result.netlist);
-
-        const Legalizer legalizer(lp);
-        result.legal = legalizer.legalize(result.netlist);
+    // A private pool per run (Human mode has no parallel stage, so
+    // skip the thread spawn entirely), sized exactly like the
+    // pre-session flow so fixed-seed layouts stay bitwise-identical
+    // to it. Sessions amortize this construction across runs.
+    std::unique_ptr<ThreadPool> pool;
+    if (normalized.mode != PlacerMode::Human) {
+        pool = std::make_unique<ThreadPool>(normalized.placer.threads);
+        ctx.pool = pool->threads() > 1 ? pool.get() : nullptr;
     }
 
-    result.area = computeArea(result.netlist);
-    result.hotspots = analyzeHotspots(result.netlist, params_.hotspot);
-    result.seconds = timer.seconds();
+    runStages(ctx, makeDefaultStages(normalized));
 
-    inform(str(placerModeName(params_.mode), " flow on ", topo.name,
-               ": #cells=", result.netlist.numInstances(),
-               " Ph=", result.hotspots.phPercent,
-               "% util=", result.area.utilization));
-    return result;
+    // Exception compatibility: a failed stage used to surface as the
+    // fatal() it threw; re-throw instead of returning a partial result.
+    if (ctx.result.status.code == FlowCode::StageError)
+        throw std::runtime_error(ctx.result.status.message);
+    return std::move(ctx.result);
 }
 
 FlowResult

@@ -4,11 +4,19 @@
  * preprocessing (padding + partitioning) -> frequency-aware global
  * placement -> integration-aware legalization -> metrics.
  *
- * This is the library's primary public entry point:
+ * One-shot entry point:
  *
  *   Topology topo = makeTopology("Falcon");
  *   FlowResult r = QplacerFlow().run(topo);
  *   writeLayoutSvg(r.netlist, "falcon.svg");
+ *
+ * QplacerFlow::run() is a thin wrapper over the staged pipeline
+ * (stage.hpp): each run builds the default stage sequence and drives
+ * it with a private worker pool. Services and batch workloads should
+ * prefer PlacementSession (session.hpp), which reuses the pool and
+ * spectral-plan cache across runs, streams FlowObserver progress
+ * events, supports cooperative cancellation, and executes independent
+ * jobs concurrently -- see the migration note on runMode() below.
  */
 
 #ifndef QPLACER_PIPELINE_FLOW_HPP
@@ -21,6 +29,7 @@
 #include "freq/assigner.hpp"
 #include "legal/legalizer.hpp"
 #include "netlist/builder.hpp"
+#include "pipeline/stage.hpp"
 #include "topology/topology.hpp"
 
 namespace qplacer {
@@ -43,6 +52,30 @@ struct FlowParams
     LegalizerParams legalizer;
     HotspotParams hotspot;
     double targetUtil = 0.72;
+
+    /**
+     * Validated, self-consistent copy of these parameters -- the only
+     * form the staged pipeline accepts. Normalization:
+     *
+     *  - assigner.detuningThresholdHz is the single source of truth
+     *    for the detuning threshold; the copy in the placer, the
+     *    integration legalizer, and the hotspot analyzer is
+     *    overwritten with it (previously each caller hand-copied it,
+     *    or forgot to);
+     *  - targetUtil is mirrored into placer.targetUtil;
+     *  - Classic mode disables the frequency force and the resonance
+     *    check (Section V-B);
+     *  - placer.minIters (a convergence floor) is clamped to the
+     *    iteration budget, so lowering only maxIters stays valid.
+     *
+     * Out-of-range values (non-positive segment size, targetUtil
+     * outside (0, 1], negative minIters, ...) are *errors*, caught
+     * here instead of surfacing as UB downstream: with @p error null
+     * the first violation fatal()s; otherwise *error receives the
+     * message (empty on success) and the partially normalized copy is
+     * returned for inspection.
+     */
+    FlowParams normalized(std::string *error = nullptr) const;
 };
 
 /** Everything a flow run produces. */
@@ -50,10 +83,12 @@ struct FlowResult
 {
     Netlist netlist; ///< Placed + legalized layout.
     FrequencyAssignment freqs;
-    PlaceResult place;       ///< Global-placement stats (not for Human).
-    LegalizeResult legal;    ///< Legalization stats (not for Human).
+    PlaceResult place;    ///< Global-placement stats (not for Human).
+    LegalizeResult legal; ///< Legalization stats (not for Human).
     AreaMetrics area;
     HotspotReport hotspots;
+    FlowStatus status;    ///< Structured outcome (Ok / error / cancelled).
+    std::vector<StageTiming> stageTimings; ///< Per-stage wall clocks.
     double seconds = 0.0; ///< End-to-end wall-clock.
 };
 
@@ -63,10 +98,26 @@ class QplacerFlow
   public:
     explicit QplacerFlow(FlowParams params = {});
 
-    /** Run the configured flow on @p topo. */
+    /**
+     * Run the configured flow on @p topo through the staged pipeline.
+     * Kept exception-compatible with the pre-session API: invalid
+     * parameters and stage failures throw (std::runtime_error via
+     * fatal()). PlacementSession::run returns them as FlowResult::status
+     * instead.
+     */
     FlowResult run(const Topology &topo) const;
 
-    /** Convenience: run with a given mode, default everything else. */
+    /**
+     * Convenience: run with a given mode, default everything else.
+     *
+     * Migration note: for anything beyond a one-shot run -- many
+     * placements, progress observation, cancellation, or non-throwing
+     * error handling -- use PlacementSession:
+     *
+     *   PlacementSession session;                 // pool reused across runs
+     *   FlowResult r = session.run(topo, params); // errors in r.status
+     *   auto results = session.runBatch(jobs);    // concurrent jobs
+     */
     static FlowResult runMode(const Topology &topo, PlacerMode mode,
                               double segment_um = 300.0,
                               std::uint64_t seed = 1);

@@ -1,0 +1,147 @@
+#include "pipeline/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "pipeline/context.hpp"
+
+namespace qplacer {
+
+PlacementSession::PlacementSession(SessionParams params)
+    : params_(params)
+{
+}
+
+ThreadPool *
+PlacementSession::innerPool(int threads)
+{
+    const int resolved = ThreadPool::resolveThreadCount(threads);
+    if (resolved <= 1)
+        return nullptr;
+    // Reuse the live pool whenever the size matches -- this is the
+    // amortization a session exists for. A changed request rebuilds it
+    // (chunk boundaries depend on the pool size, so reusing a
+    // wrong-sized pool would silently change results).
+    if (!inner_ || inner_->threads() != resolved)
+        inner_ = std::make_unique<ThreadPool>(resolved);
+    return inner_.get();
+}
+
+FlowResult
+PlacementSession::runJob(const Topology &topo, const FlowParams &params,
+                         int job_index, ThreadPool *pool, bool logging)
+{
+    FlowContext ctx;
+    ctx.topo = &topo;
+
+    std::string error;
+    ctx.params = params.normalized(&error);
+    if (!error.empty()) {
+        ctx.result.status = {FlowCode::InvalidParams, "", error};
+        return std::move(ctx.result);
+    }
+
+    ctx.jobIndex = job_index;
+    ctx.pool = pool;
+    ctx.observer = observer_;
+    ctx.cancel = &cancel_;
+    ctx.logging = logging;
+    runStages(ctx, makeDefaultStages(ctx.params));
+    return std::move(ctx.result);
+}
+
+FlowResult
+PlacementSession::run(const Topology &topo)
+{
+    return run(topo, params_.flow);
+}
+
+FlowResult
+PlacementSession::run(const Topology &topo, const FlowParams &params)
+{
+    // Human mode has no parallel stage; don't build (or keep alive) a
+    // pool for it.
+    ThreadPool *pool = params.mode == PlacerMode::Human
+                           ? nullptr
+                           : innerPool(params.placer.threads);
+    return runJob(topo, params, /*job_index=*/0, pool, /*logging=*/true);
+}
+
+std::vector<FlowResult>
+PlacementSession::runBatch(const std::vector<PlacementJob> &jobs)
+{
+    std::vector<JobRef> refs;
+    refs.reserve(jobs.size());
+    for (const PlacementJob &job : jobs)
+        refs.push_back({&job.topo, &job.params});
+    return runBatchRefs(refs);
+}
+
+std::vector<FlowResult>
+PlacementSession::runBatch(const Topology &topo,
+                           const std::vector<FlowParams> &jobs)
+{
+    std::vector<JobRef> refs;
+    refs.reserve(jobs.size());
+    for (const FlowParams &params : jobs)
+        refs.push_back({&topo, &params});
+    return runBatchRefs(refs);
+}
+
+std::vector<FlowResult>
+PlacementSession::runBatchRefs(const std::vector<JobRef> &jobs)
+{
+    std::vector<FlowResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const int workers =
+        std::min<int>(ThreadPool::resolveThreadCount(params_.workers),
+                      static_cast<int>(jobs.size()));
+
+    if (workers <= 1) {
+        // Serial batch: jobs run in order on this thread and keep
+        // their requested intra-placement thread count.
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            ThreadPool *pool =
+                jobs[i].params->mode == PlacerMode::Human
+                    ? nullptr
+                    : innerPool(jobs[i].params->placer.threads);
+            results[i] = runJob(*jobs[i].topo, *jobs[i].params,
+                                static_cast<int>(i), pool,
+                                /*logging=*/true);
+        }
+        return results;
+    }
+
+    if (!batch_ || batch_->threads() != workers)
+        batch_ = std::make_unique<ThreadPool>(workers);
+
+    // Concurrent batch: every worker pulls the next unclaimed job
+    // (dynamic scheduling -- placements vary wildly in cost, so a
+    // static split would idle half the pool on the tail). Each job is
+    // placed single-threaded (inner pool = null): nesting regions on
+    // one pool is illegal, and the per-job serial path is exactly what
+    // makes batch results bitwise-equal to placer.threads=1 serial
+    // runs. runJob never throws (stage errors land in the per-job
+    // status), so one failing job cannot take down the batch.
+    std::atomic<std::size_t> next{0};
+    batch_->forChunks(
+        static_cast<std::size_t>(workers),
+        [&](int, std::size_t, std::size_t) {
+            for (std::size_t i = next.fetch_add(1); i < jobs.size();
+                 i = next.fetch_add(1)) {
+                FlowParams job_params = *jobs[i].params;
+                job_params.placer.threads = 1;
+                results[i] = runJob(*jobs[i].topo, job_params,
+                                    static_cast<int>(i), nullptr,
+                                    /*logging=*/false);
+            }
+        });
+    return results;
+}
+
+} // namespace qplacer

@@ -30,6 +30,7 @@
 #include "physics/resonator.hpp"
 #include "physics/transmon.hpp"
 #include "pipeline/flow.hpp"
+#include "pipeline/session.hpp"
 #include "topology/factory.hpp"
 #include "topology/generators.hpp"
 

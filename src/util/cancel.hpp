@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cooperative cancellation token.
+ *
+ * A CancelToken is a shared flag a driver sets and long-running
+ * library code polls at safe points (optimizer iterations,
+ * legalization attempts). Cancellation is cooperative: work stops at
+ * the next poll, partial results stay in a consistent state, and the
+ * caller learns about the early exit through a `cancelled` flag on
+ * the result rather than an exception.
+ *
+ * Thread-safe: cancel() may be called from any thread (e.g. an
+ * observer callback or a signal-handling thread) while workers poll.
+ */
+
+#ifndef QPLACER_UTIL_CANCEL_HPP
+#define QPLACER_UTIL_CANCEL_HPP
+
+#include <atomic>
+
+namespace qplacer {
+
+/** Shared one-way cancellation flag (resettable between runs). */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Request cancellation; all holders observe it at the next poll. */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /** True once cancel() has been called (until reset()). */
+    bool cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm the token for another run. */
+    void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_CANCEL_HPP

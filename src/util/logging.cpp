@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace qplacer {
@@ -28,6 +29,10 @@ Logger::emit(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) > static_cast<int>(level_))
         return;
+    // Serialize concurrent emitters (batch jobs log from pool workers)
+    // so lines never interleave mid-message.
+    static std::mutex emit_mutex;
+    const std::lock_guard<std::mutex> lock(emit_mutex);
     const char *tag = "";
     switch (level) {
       case LogLevel::Warn:

@@ -19,9 +19,11 @@ namespace qplacer {
 enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
 
 /**
- * Minimal global logger. Not thread-safe by design: all logging happens
- * on the driver thread, and ThreadPool parallel regions must not log
- * (we avoid locking in hot paths).
+ * Minimal global logger. emit() serializes concurrent callers behind a
+ * mutex so batch-session jobs running on worker threads can log safely;
+ * setLevel() is still driver-thread-only (configure before spawning
+ * work). Hot loops should stay log-free regardless -- the lock makes
+ * concurrent logging safe, not cheap.
  */
 class Logger
 {

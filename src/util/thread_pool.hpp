@@ -19,7 +19,9 @@
  *    completes, but the partial work is unspecified.
  *  - Regions are not reentrant: a body must not start another region
  *    on the same pool.
- *  - The global Logger is not thread-safe; bodies must not log.
+ *  - The global Logger serializes emits behind a mutex, so bodies may
+ *    log when they must (batch-session jobs do) -- but a lock in a hot
+ *    loop serializes the region, so keep per-chunk bodies log-free.
  */
 
 #ifndef QPLACER_UTIL_THREAD_POOL_HPP

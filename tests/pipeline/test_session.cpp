@@ -1,0 +1,172 @@
+/**
+ * @file
+ * PlacementSession determinism contract: a concurrent batch must be
+ * bitwise-identical to serial QplacerFlow runs with the same seeds
+ * (and placer.threads = 1, the batch's per-job configuration), and a
+ * session reusing its pool across runs must reproduce the one-shot
+ * flow exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/session.hpp"
+#include "topology/generators.hpp"
+
+namespace qplacer {
+namespace {
+
+/** Flow parameters for a quick, deterministic serial placement. */
+FlowParams
+quickParams(std::uint64_t seed, int max_iters)
+{
+    FlowParams params;
+    params.placer.seed = seed;
+    params.placer.maxIters = max_iters;
+    params.placer.threads = 1;
+    return params;
+}
+
+void
+expectBitwiseEqualResults(const FlowResult &serial, const FlowResult &batch)
+{
+    ASSERT_TRUE(batch.status.ok())
+        << flowCodeName(batch.status.code) << ": " << batch.status.message;
+    EXPECT_TRUE(bitwiseSameLayout(serial.netlist, batch.netlist));
+    EXPECT_EQ(serial.place.iterations, batch.place.iterations);
+    EXPECT_EQ(serial.place.finalOverflow, batch.place.finalOverflow);
+    EXPECT_EQ(serial.place.finalHpwl, batch.place.finalHpwl);
+    EXPECT_EQ(serial.legal.legal, batch.legal.legal);
+    EXPECT_EQ(serial.hotspots.phPercent, batch.hotspots.phPercent);
+}
+
+void
+checkBatchMatchesSerial(const Topology &topo, int max_iters, int jobs,
+                        int workers)
+{
+    // Reference: independent one-shot flows, one per seed.
+    std::vector<FlowResult> serial;
+    for (int j = 0; j < jobs; ++j) {
+        serial.push_back(
+            QplacerFlow(quickParams(1 + static_cast<std::uint64_t>(j),
+                                    max_iters))
+                .run(topo));
+    }
+
+    SessionParams sparams;
+    sparams.workers = workers;
+    PlacementSession session(sparams);
+    std::vector<PlacementJob> batch(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) {
+        batch[static_cast<std::size_t>(j)].topo = topo;
+        batch[static_cast<std::size_t>(j)].params =
+            quickParams(1 + static_cast<std::uint64_t>(j), max_iters);
+    }
+    const std::vector<FlowResult> results = session.runBatch(batch);
+
+    ASSERT_EQ(results.size(), serial.size());
+    for (std::size_t j = 0; j < results.size(); ++j)
+        expectBitwiseEqualResults(serial[j], results[j]);
+}
+
+TEST(Session, BatchMatchesSerialBitwiseOnGrid8x8)
+{
+    checkBatchMatchesSerial(makeGrid(8, 8), /*max_iters=*/120, /*jobs=*/2,
+                            /*workers=*/2);
+}
+
+TEST(Session, BatchMatchesSerialBitwiseOnHeavyHex3x5)
+{
+    checkBatchMatchesSerial(makeHeavyHex(3, 5), /*max_iters=*/250,
+                            /*jobs=*/3, /*workers=*/2);
+}
+
+TEST(Session, SerialBatchMatchesSerialToo)
+{
+    // workers=1 takes the in-order path (jobs keep their own thread
+    // request); results must be identical to the concurrent contract.
+    checkBatchMatchesSerial(makeGrid(4, 4), /*max_iters=*/120, /*jobs=*/2,
+                            /*workers=*/1);
+}
+
+TEST(Session, RunReusesPoolAndMatchesOneShotFlow)
+{
+    const Topology topo = makeGrid(4, 4);
+    FlowParams params = quickParams(7, 120);
+    params.placer.threads = 2; // Exercise the shared inner pool.
+
+    const FlowResult one_shot_a = QplacerFlow(params).run(topo);
+    const FlowResult one_shot_b = QplacerFlow(params).run(topo);
+
+    PlacementSession session;
+    const FlowResult session_a = session.run(topo, params);
+    // Second run reuses the pool built by the first.
+    const FlowResult session_b = session.run(topo, params);
+
+    expectBitwiseEqualResults(one_shot_a, session_a);
+    expectBitwiseEqualResults(one_shot_b, session_b);
+}
+
+TEST(Session, RunUsesSessionDefaultParams)
+{
+    const Topology topo = makeGrid(3, 3);
+    SessionParams sparams;
+    sparams.flow = quickParams(5, 120);
+    PlacementSession session(sparams);
+
+    const FlowResult r = session.run(topo);
+    ASSERT_TRUE(r.status.ok());
+    expectBitwiseEqualResults(QplacerFlow(sparams.flow).run(topo), r);
+}
+
+TEST(Session, DifferentSeedsProduceDifferentLayouts)
+{
+    const Topology topo = makeGrid(3, 3);
+    SessionParams sparams;
+    sparams.workers = 2;
+    PlacementSession session(sparams);
+
+    std::vector<PlacementJob> jobs(2);
+    jobs[0].topo = topo;
+    jobs[0].params = quickParams(1, 120);
+    jobs[1].topo = topo;
+    jobs[1].params = quickParams(2, 120);
+    const std::vector<FlowResult> results = session.runBatch(jobs);
+
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_TRUE(results[0].status.ok());
+    ASSERT_TRUE(results[1].status.ok());
+    EXPECT_FALSE(bitwiseSameLayout(results[0].netlist, results[1].netlist));
+}
+
+TEST(Session, HomogeneousBatchOverloadMatchesJobBatch)
+{
+    const Topology topo = makeGrid(3, 3);
+    SessionParams sparams;
+    sparams.workers = 2;
+
+    std::vector<PlacementJob> jobs(2);
+    std::vector<FlowParams> sweep(2);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].topo = topo;
+        jobs[j].params = quickParams(j + 1, 120);
+        sweep[j] = jobs[j].params;
+    }
+
+    const std::vector<FlowResult> via_jobs =
+        PlacementSession(sparams).runBatch(jobs);
+    const std::vector<FlowResult> via_sweep =
+        PlacementSession(sparams).runBatch(topo, sweep);
+
+    ASSERT_EQ(via_jobs.size(), via_sweep.size());
+    for (std::size_t j = 0; j < via_jobs.size(); ++j)
+        expectBitwiseEqualResults(via_jobs[j], via_sweep[j]);
+}
+
+TEST(Session, EmptyBatchIsFine)
+{
+    PlacementSession session;
+    EXPECT_TRUE(session.runBatch({}).empty());
+}
+
+} // namespace
+} // namespace qplacer

@@ -10,12 +10,14 @@
  *   qplacer_cli --topology Falcon --csv falcon.csv --svg falcon.svg
  *   qplacer_cli --topology grid3x3 --mode classic --seed 7
  *   qplacer_cli --topology heavyhex3x9 --set placer.maxIters=300
+ *   qplacer_cli --topology grid8x8 --jobs 8 --report json --quiet
  */
 
 #include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -27,9 +29,13 @@
 #include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace qplacer {
 namespace {
+
+/** Output format selected with --report. */
+enum class ReportFormat { Table, Json };
 
 struct CliOptions
 {
@@ -37,12 +43,15 @@ struct CliOptions
     PlacerMode mode = PlacerMode::Qplacer;
     std::uint64_t seed = 1;
     int threads = 0;
+    int jobs = 1;
+    int workers = 0;
     double segmentUm = 300.0;
     Config overrides;
     std::string csvPath;
     std::string svgPath;
     std::string layoutPath;
     double svgScale = 0.05;
+    ReportFormat report = ReportFormat::Table;
     bool listTopologies = false;
     bool quiet = false;
     bool help = false;
@@ -64,6 +73,14 @@ Options:
                       (default 0 = hardware concurrency, capped; 1 =
                       serial). Same seed + thread count reproduces the
                       placement bit for bit.
+  --jobs N            Place the topology N times with seeds seed..seed+N-1
+                      through one PlacementSession (default: 1). Jobs run
+                      concurrently (see --workers); each job is placed
+                      single-threaded when jobs run concurrently, so a
+                      batch reproduces N serial --threads 1 runs bit for
+                      bit.
+  --workers M         Concurrent jobs for --jobs (default 0 = hardware
+                      concurrency, capped; 1 = serial batch).
   --segment UM        Resonator segment size l_b in um (default: 300).
   --set KEY=VALUE     Override a flow parameter; repeatable. Keys:
                       targetUtil, placer.maxIters, placer.minIters,
@@ -74,10 +91,15 @@ Options:
                       assigner.distance2, assigner.detuningThresholdGHz,
                       legalizer.cellUm, legalizer.flowRefine,
                       legalizer.integration, hotspot.adjacencyTolUm.
-  --csv PATH          Write a one-row metrics CSV to PATH.
-  --svg PATH          Render the placed layout to PATH as SVG.
-  --layout PATH       Save instance positions ("id kind x y freq") to PATH.
+  --csv PATH          Write a metrics CSV to PATH (one row per job).
+  --svg PATH          Render the placed layout to PATH as SVG (--jobs 1).
+  --layout PATH       Save instance positions ("id kind x y freq") to PATH
+                      (--jobs 1).
   --svg-scale X       SVG pixels per um (default: 0.05).
+  --report FORMAT     table (default) or json. json prints a machine-
+                      readable FlowResult report (status, per-stage
+                      seconds, HPWL, overflow, Ph%, area, fidelity) to
+                      stdout; combine with --quiet for pure-JSON output.
   --list-topologies   Print the known topology names and exit.
   --quiet             Suppress status logging (errors still shown).
   --help              Show this message.
@@ -229,12 +251,16 @@ parseMode(const std::string &value)
     fatal("unknown mode '" + value + "' (expected qplacer|classic|human)");
 }
 
-/** Map --set overrides onto the flow parameter tree. */
+/**
+ * Map --set overrides onto the flow parameter tree. Only the
+ * user-facing knobs are touched here; cross-parameter consistency
+ * (detuning threshold propagation, targetUtil mirroring, range
+ * validation) is FlowParams::normalized()'s job.
+ */
 void
 applyOverrides(const Config &cfg, FlowParams &params)
 {
     params.targetUtil = cfg.getDouble("targetUtil", params.targetUtil);
-    params.placer.targetUtil = params.targetUtil;
 
     PlacerParams &pp = params.placer;
     pp.maxIters = static_cast<int>(cfg.getInt("placer.maxIters", pp.maxIters));
@@ -254,8 +280,6 @@ applyOverrides(const Config &cfg, FlowParams &params)
         cfg.getDouble("assigner.detuningThresholdGHz",
                       ap.detuningThresholdHz / 1e9) *
         1e9;
-    pp.detuningThresholdHz = ap.detuningThresholdHz;
-    params.hotspot.detuningThresholdHz = ap.detuningThresholdHz;
 
     LegalizerParams &lp = params.legalizer;
     lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
@@ -286,6 +310,26 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--threads") {
             opts.threads = static_cast<int>(std::min<std::uint64_t>(
                 parseUint(need(i, arg), arg), ThreadPool::kMaxThreads));
+        } else if (arg == "--jobs") {
+            const std::uint64_t jobs = parseUint(need(i, arg), arg);
+            if (jobs == 0)
+                fatal("--jobs must be at least 1");
+            if (jobs > 100000)
+                fatal("--jobs capped at 100000, got " +
+                      std::to_string(jobs));
+            opts.jobs = static_cast<int>(jobs);
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<int>(std::min<std::uint64_t>(
+                parseUint(need(i, arg), arg), ThreadPool::kMaxThreads));
+        } else if (arg == "--report") {
+            const std::string format = toLower(need(i, arg));
+            if (format == "table")
+                opts.report = ReportFormat::Table;
+            else if (format == "json")
+                opts.report = ReportFormat::Json;
+            else
+                fatal("unknown --report format '" + format +
+                      "' (expected table|json)");
         } else if (arg == "--segment") {
             opts.segmentUm = parsePositiveDouble(need(i, arg), arg);
         } else if (arg == "--set") {
@@ -321,17 +365,28 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
+/** Per-job seed: job i of a batch runs with base seed + i. */
+std::uint64_t
+jobSeed(const CliOptions &opts, std::size_t job)
+{
+    return opts.seed + static_cast<std::uint64_t>(job);
+}
+
 void
 writeMetricsCsv(const std::string &path, const Topology &topo,
-                const CliOptions &opts, const FlowResult &result)
+                const CliOptions &opts,
+                const std::vector<FlowResult> &results)
 {
     CsvWriter csv(path);
     csv.header({"topology", "mode", "qubits", "couplers", "cells",
                 "freq_slots", "iterations", "converged", "overflow", "hpwl_um",
                 "legal", "qubit_disp_um", "segment_disp_um", "ph_percent",
                 "impacted_qubits", "utilization", "amer_um2", "apoly_um2",
-                "seconds"});
-    csv.row({CsvWriter::cell(topo.name),
+                "seconds", "seed", "status"});
+    for (std::size_t job = 0; job < results.size(); ++job) {
+        const FlowResult &result = results[job];
+        csv.row(
+            {CsvWriter::cell(topo.name),
              CsvWriter::cell(std::string(placerModeName(opts.mode))),
              CsvWriter::cell(static_cast<long long>(topo.numQubits())),
              CsvWriter::cell(static_cast<long long>(topo.numCouplers())),
@@ -352,7 +407,197 @@ writeMetricsCsv(const std::string &path, const Topology &topo,
              CsvWriter::cell(result.area.utilization),
              CsvWriter::cell(result.area.amerUm2),
              CsvWriter::cell(result.area.apolyUm2),
-             CsvWriter::cell(result.seconds)});
+             CsvWriter::cell(result.seconds),
+             // As a string: uint64 seeds overflow long long and lose
+             // precision through double.
+             CsvWriter::cell(std::to_string(jobSeed(opts, job))),
+             CsvWriter::cell(
+                 std::string(flowCodeName(result.status.code)))});
+    }
+}
+
+/**
+ * The fidelity proxy for --report json: the largest Bernstein-Vazirani
+ * benchmark the device fits, averaged over a small fixed subset count
+ * (matching the golden regressions). Devices under 4 qubits report
+ * none.
+ */
+const char *
+fidelityBenchmarkFor(const Topology &topo)
+{
+    if (topo.numQubits() >= 16)
+        return "bv-16";
+    if (topo.numQubits() >= 9)
+        return "bv-9";
+    if (topo.numQubits() >= 4)
+        return "bv-4";
+    return nullptr;
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/**
+ * Machine-readable flow report (--report json): one object per job
+ * with the structured status, per-stage seconds, and the headline
+ * metrics, plus a batch aggregate. Schema is versioned so service/CI
+ * consumers can detect changes.
+ */
+void
+printReportJson(std::ostream &os, const Topology &topo,
+                const CliOptions &opts,
+                const std::vector<FlowResult> &results,
+                double wall_seconds)
+{
+    const char *benchmark = fidelityBenchmarkFor(topo);
+    EvaluatorParams eparams;
+    eparams.numSubsets = 8;
+    const Evaluator evaluator(eparams);
+    // One circuit for the whole batch; only the mapping differs per
+    // job (the placeholder is never evaluated).
+    const Circuit circuit = benchmark != nullptr ? makeBenchmark(benchmark)
+                                                 : Circuit(1, "none");
+
+    os << "{\n";
+    os << "  \"schema\": \"qplacer.flow_report/1\",\n";
+    os << "  \"topology\": \"" << jsonEscape(topo.name) << "\",\n";
+    os << "  \"mode\": \"" << placerModeName(opts.mode) << "\",\n";
+    os << "  \"qubits\": " << topo.numQubits() << ",\n";
+    os << "  \"jobs\": [\n";
+    int ok_jobs = 0;
+    for (std::size_t job = 0; job < results.size(); ++job) {
+        const FlowResult &r = results[job];
+        ok_jobs += r.status.ok() ? 1 : 0;
+        os << "    {\n";
+        os << "      \"seed\": " << jobSeed(opts, job) << ",\n";
+        os << "      \"status\": {\"code\": \""
+           << flowCodeName(r.status.code) << "\", \"stage\": \""
+           << jsonEscape(r.status.stage) << "\", \"message\": \""
+           << jsonEscape(r.status.message) << "\"},\n";
+        os << "      \"stages\": [";
+        for (std::size_t s = 0; s < r.stageTimings.size(); ++s) {
+            os << (s ? ", " : "") << "{\"stage\": \""
+               << jsonEscape(r.stageTimings[s].stage)
+               << "\", \"seconds\": " << jsonNum(r.stageTimings[s].seconds)
+               << "}";
+        }
+        os << "],\n";
+        os << "      \"cells\": " << r.netlist.numInstances() << ",\n";
+        os << "      \"freq_slots\": " << r.freqs.numQubitSlots << ",\n";
+        os << "      \"place\": {\"iterations\": " << r.place.iterations
+           << ", \"converged\": " << (r.place.converged ? "true" : "false")
+           << ", \"cancelled\": " << (r.place.cancelled ? "true" : "false")
+           << ", \"overflow\": " << jsonNum(r.place.finalOverflow)
+           << ", \"hpwl_um\": " << jsonNum(r.place.finalHpwl) << "},\n";
+        os << "      \"legal\": {\"legal\": "
+           << (r.legal.legal ? "true" : "false")
+           << ", \"qubit_disp_um\": "
+           << jsonNum(r.legal.qubitDisplacementUm)
+           << ", \"segment_disp_um\": "
+           << jsonNum(r.legal.segmentDisplacementUm)
+           << ", \"unintegrated\": " << r.legal.integration.unintegrated
+           << "},\n";
+        os << "      \"area\": {\"amer_um2\": " << jsonNum(r.area.amerUm2)
+           << ", \"apoly_um2\": " << jsonNum(r.area.apolyUm2)
+           << ", \"utilization\": " << jsonNum(r.area.utilization)
+           << "},\n";
+        os << "      \"hotspots\": {\"ph_percent\": "
+           << jsonNum(r.hotspots.phPercent)
+           << ", \"pairs\": " << r.hotspots.pairs.size()
+           << ", \"impacted_qubits\": " << r.hotspots.impactedQubits.size()
+           << "},\n";
+        if (benchmark != nullptr && r.status.ok()) {
+            const BenchmarkResult b =
+                evaluator.evaluate(topo, r.netlist, circuit);
+            os << "      \"fidelity\": {\"benchmark\": \"" << benchmark
+               << "\", \"mean\": " << jsonNum(b.meanFidelity)
+               << ", \"min\": " << jsonNum(b.minFidelity)
+               << ", \"max\": " << jsonNum(b.maxFidelity) << "},\n";
+        } else {
+            os << "      \"fidelity\": null,\n";
+        }
+        os << "      \"seconds\": " << jsonNum(r.seconds) << "\n";
+        os << "    }" << (job + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"aggregate\": {\"jobs\": " << results.size()
+       << ", \"ok\": " << ok_jobs
+       << ", \"wall_seconds\": " << jsonNum(wall_seconds)
+       << ", \"placements_per_sec\": "
+       << jsonNum(wall_seconds > 0.0
+                      ? static_cast<double>(results.size()) / wall_seconds
+                      : 0.0)
+       << "}\n";
+    os << "}\n";
+}
+
+/** Compact one-row-per-job table for batch runs. */
+void
+printBatchSummary(const Topology &topo, const CliOptions &opts,
+                  const std::vector<FlowResult> &results,
+                  double wall_seconds)
+{
+    TextTable table;
+    table.header({"seed", "status", "iters", "overflow", "HPWL (um)",
+                  "legal", "Ph (%)", "util", "seconds"});
+    for (std::size_t job = 0; job < results.size(); ++job) {
+        const FlowResult &r = results[job];
+        table.row({std::to_string(jobSeed(opts, job)),
+                   flowCodeName(r.status.code),
+                   TextTable::num(r.place.iterations, 0),
+                   TextTable::num(r.place.finalOverflow, 4),
+                   TextTable::num(r.place.finalHpwl, 1),
+                   r.legal.legal ? "yes" : "no",
+                   TextTable::num(r.hotspots.phPercent, 2),
+                   TextTable::num(r.area.utilization, 4),
+                   TextTable::num(r.seconds, 2)});
+    }
+    std::cout << table.render();
+    std::printf("%s: %zu jobs in %.2fs (%.2f placements/sec)\n",
+                topo.name.c_str(), results.size(), wall_seconds,
+                wall_seconds > 0.0
+                    ? static_cast<double>(results.size()) / wall_seconds
+                    : 0.0);
 }
 
 void
@@ -407,21 +652,73 @@ run(int argc, char **argv)
     params.placer.threads = opts.threads;
     applyOverrides(opts.overrides, params);
 
-    const FlowResult result = QplacerFlow(params).run(topo);
+    // Surface bad --set combinations as a CLI error up front instead
+    // of a per-job status after the (possibly long) run started.
+    std::string params_error;
+    params.normalized(&params_error);
+    if (!params_error.empty())
+        fatal(params_error);
 
-    if (!opts.csvPath.empty())
-        writeMetricsCsv(opts.csvPath, topo, opts, result);
-    if (!opts.svgPath.empty()) {
-        SvgOptions svg;
-        svg.scale = opts.svgScale;
-        writeLayoutSvg(result.netlist, opts.svgPath, svg);
+    if (opts.jobs > 1 &&
+        (!opts.svgPath.empty() || !opts.layoutPath.empty()))
+        fatal("--svg/--layout need a single layout; use --jobs 1");
+
+    SessionParams session_params;
+    session_params.flow = params;
+    session_params.workers = opts.workers;
+    PlacementSession session(session_params);
+
+    Timer wall;
+    std::vector<FlowResult> results;
+    if (opts.jobs <= 1) {
+        results.push_back(session.run(topo, params));
+    } else {
+        std::vector<FlowParams> batch(static_cast<std::size_t>(opts.jobs),
+                                      params);
+        for (std::size_t job = 0; job < batch.size(); ++job)
+            batch[job].placer.seed = jobSeed(opts, job);
+        results = session.runBatch(topo, batch);
     }
-    if (!opts.layoutPath.empty())
-        saveLayout(result.netlist, opts.layoutPath);
+    const double wall_seconds = wall.seconds();
 
-    if (!opts.quiet)
-        printSummary(topo, opts, result);
-    return 0;
+    // The CSV is a per-job report and carries a status column, so
+    // failed jobs stay visible there; the layout artifacts, however,
+    // must never materialize from a failed or cancelled run (a
+    // file-existence check downstream would pick up a bogus layout).
+    if (!opts.csvPath.empty())
+        writeMetricsCsv(opts.csvPath, topo, opts, results);
+    if (results.front().status.ok()) {
+        if (!opts.svgPath.empty()) {
+            SvgOptions svg;
+            svg.scale = opts.svgScale;
+            writeLayoutSvg(results.front().netlist, opts.svgPath, svg);
+        }
+        if (!opts.layoutPath.empty())
+            saveLayout(results.front().netlist, opts.layoutPath);
+    }
+
+    if (opts.report == ReportFormat::Json) {
+        printReportJson(std::cout, topo, opts, results, wall_seconds);
+    } else if (!opts.quiet) {
+        if (results.size() == 1)
+            printSummary(topo, opts, results.front());
+        else
+            printBatchSummary(topo, opts, results, wall_seconds);
+    }
+
+    int rc = 0;
+    for (std::size_t job = 0; job < results.size(); ++job) {
+        const FlowStatus &status = results[job].status;
+        if (!status.ok()) {
+            std::cerr << "qplacer_cli: job " << job << " (seed "
+                      << jobSeed(opts, job) << ") "
+                      << flowCodeName(status.code)
+                      << (status.stage.empty() ? "" : " in stage ")
+                      << status.stage << ": " << status.message << "\n";
+            rc = 1;
+        }
+    }
+    return rc;
 }
 
 } // namespace
