@@ -1,21 +1,22 @@
 #include "legal/flow_refine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "geometry/spatial_hash.hpp"
 #include "math/min_cost_flow.hpp"
 #include "util/logging.hpp"
 
 namespace qplacer {
 
+namespace {
+
+/** Exact dense assignment: every item connects to every site. */
 std::vector<int>
-refineAssignment(const std::vector<Vec2> &desired,
-                 const std::vector<Vec2> &sites)
+refineDense(const std::vector<Vec2> &desired,
+            const std::vector<Vec2> &sites)
 {
     const int n = static_cast<int>(desired.size());
-    if (static_cast<int>(sites.size()) != n)
-        panic("refineAssignment: item/site count mismatch");
-    if (n == 0)
-        return {};
 
     // Nodes: source, items, sites, sink.
     const int source = 0;
@@ -24,6 +25,10 @@ refineAssignment(const std::vector<Vec2> &desired,
 
     std::vector<std::vector<int>> edge_id(
         n, std::vector<int>(n, -1));
+    for (int i = 0; i < n; ++i) {
+        flow.reserveNode(1 + i, static_cast<std::size_t>(n) + 1);
+        flow.reserveNode(1 + n + i, static_cast<std::size_t>(n) + 1);
+    }
     for (int i = 0; i < n; ++i)
         flow.addEdge(source, 1 + i, 1, 0);
     for (int i = 0; i < n; ++i) {
@@ -53,6 +58,115 @@ refineAssignment(const std::vector<Vec2> &desired,
             panic("refineAssignment: unassigned item");
     }
     return assignment;
+}
+
+/**
+ * Sparse assignment: item i connects to its own site plus its k
+ * nearest sites. The own-site arc keeps the identity assignment
+ * feasible, so the flow always saturates.
+ */
+std::vector<int>
+refineSparse(const std::vector<Vec2> &desired,
+             const std::vector<Vec2> &sites, int neighbors)
+{
+    const int n = static_cast<int>(desired.size());
+
+    // Hash sized to cover every site *and* every desired point (the
+    // query centers), so nothing is clamped into edge buckets and the
+    // kNearest early-out bound stays valid. ~1 site per bucket.
+    Rect bbox(sites[0], sites[0]);
+    for (const Vec2 &p : sites)
+        bbox = bbox.unionWith(Rect(p, p));
+    for (const Vec2 &p : desired)
+        bbox = bbox.unionWith(Rect(p, p));
+    bbox = bbox.inflated(1.0);
+    const double cell =
+        std::max(1.0, std::max(bbox.width(), bbox.height()) /
+                          std::sqrt(static_cast<double>(n)));
+    SpatialHash hash(bbox, cell);
+    for (int s = 0; s < n; ++s)
+        hash.insert(s, sites[s]);
+
+    const int source = 0;
+    const int sink = 2 * n + 1;
+    MinCostFlow flow(2 * n + 2);
+
+    for (int i = 0; i < n; ++i)
+        flow.addEdge(source, 1 + i, 1, 0);
+
+    std::vector<std::vector<std::pair<int, int>>> arcs(n); // (site, edge)
+    std::vector<std::int32_t> cand;
+    for (int i = 0; i < n; ++i) {
+        cand = hash.kNearest(desired[i], neighbors);
+        // Own site first: the feasibility anchor (and, for an already
+        // well-placed qubit, usually the cheapest arc anyway).
+        if (std::find(cand.begin(), cand.end(), i) == cand.end())
+            cand.push_back(i);
+        arcs[i].reserve(cand.size());
+        for (const std::int32_t s : cand) {
+            const double cost_um = desired[i].manhattan(sites[s]);
+            const int edge = flow.addEdge(
+                1 + i, 1 + n + s, 1,
+                static_cast<std::int64_t>(std::llround(cost_um)));
+            arcs[i].emplace_back(s, edge);
+        }
+    }
+    for (int s = 0; s < n; ++s)
+        flow.addEdge(1 + n + s, sink, 1, 0);
+
+    const MinCostFlow::Result result = flow.solve(source, sink);
+    if (result.flow != n) {
+        // Cannot happen (identity is feasible); exact fallback anyway
+        // so a refinement bug degrades to slow, never to wrong.
+        warn("refineAssignment: sparse flow did not saturate; "
+             "falling back to the dense exact path");
+        return refineDense(desired, sites);
+    }
+
+    std::vector<int> assignment(n, -1);
+    for (int i = 0; i < n; ++i) {
+        for (const auto &[s, edge] : arcs[i]) {
+            if (flow.flowOn(edge) > 0) {
+                assignment[i] = s;
+                break;
+            }
+        }
+        if (assignment[i] < 0)
+            panic("refineAssignment: unassigned item");
+    }
+    return assignment;
+}
+
+} // namespace
+
+std::vector<int>
+refineAssignment(const std::vector<Vec2> &desired,
+                 const std::vector<Vec2> &sites)
+{
+    const int n = static_cast<int>(desired.size());
+    if (static_cast<int>(sites.size()) != n)
+        panic("refineAssignment: item/site count mismatch");
+    if (n == 0)
+        return {};
+    return refineDense(desired, sites);
+}
+
+std::vector<int>
+refineAssignment(const std::vector<Vec2> &desired,
+                 const std::vector<Vec2> &sites,
+                 const FlowRefineOptions &options)
+{
+    const int n = static_cast<int>(desired.size());
+    if (static_cast<int>(sites.size()) != n)
+        panic("refineAssignment: item/site count mismatch");
+    if (n == 0)
+        return {};
+    if (options.neighbors < 1)
+        panic("refineAssignment: neighbors must be at least 1");
+
+    if (n <= options.sparseThreshold || options.neighbors >= n)
+        return refineDense(desired, sites);
+    return refineSparse(desired, sites, options.neighbors);
 }
 
 } // namespace qplacer

@@ -5,6 +5,15 @@
  * re-assigned to sites so the total displacement from their global-
  * placement positions is minimized. Qubits share one footprint, so any
  * permutation of sites stays legal.
+ *
+ * Scale: the exact formulation is dense (every qubit x every site,
+ * n^2 arcs), which dominates legalization wall-time past a few hundred
+ * qubits. Above FlowRefineOptions::sparseThreshold the candidate arcs
+ * are restricted to each qubit's own spiral site plus its k nearest
+ * pooled sites (SpatialHash::kNearest); the own-site arc guarantees a
+ * perfect matching always exists, so the sparse solve never fails --
+ * it is simply allowed to return a (near-optimal) assignment instead
+ * of the exact optimum.
  */
 
 #ifndef QPLACER_LEGAL_FLOW_REFINE_HPP
@@ -16,14 +25,38 @@
 
 namespace qplacer {
 
+/** Scaling knobs of refineAssignment (see LegalizerParams). */
+struct FlowRefineOptions
+{
+    /**
+     * Problem size above which candidate arcs go sparse; sizes at or
+     * below it solve the exact dense assignment. 0 = always sparse.
+     */
+    int sparseThreshold = 512;
+
+    /** Nearest candidate sites per qubit on the sparse path. */
+    int neighbors = 16;
+};
+
 /**
  * Optimal assignment of @p desired positions to @p sites (equal sizes)
- * minimizing total Manhattan displacement.
+ * minimizing total Manhattan displacement -- the exact dense
+ * formulation.
  *
  * @return site index per item.
  */
 std::vector<int> refineAssignment(const std::vector<Vec2> &desired,
                                   const std::vector<Vec2> &sites);
+
+/**
+ * Like the two-argument overload, but switches to sparse k-nearest
+ * candidate arcs above @p options.sparseThreshold (exact dense below).
+ * Item i's own site (index i) is always a candidate, so the flow
+ * saturates for any input.
+ */
+std::vector<int> refineAssignment(const std::vector<Vec2> &desired,
+                                  const std::vector<Vec2> &sites,
+                                  const FlowRefineOptions &options);
 
 } // namespace qplacer
 

@@ -77,7 +77,8 @@ IntegrationLegalizer::resonanceOk(const Netlist &netlist,
     const Rect probe =
         Rect::fromCenter(pos, inst.paddedWidth(), inst.paddedHeight())
             .inflated(params_.probeTolUm);
-    for (std::int32_t other : grid.ownersIn(probe)) {
+    grid.ownersIn(probe, ownerScratch_);
+    for (std::int32_t other : ownerScratch_) {
         if (other == inst.id || other == ignore_a || other == ignore_b)
             continue;
         const Instance &o = netlist.instance(other);

@@ -111,6 +111,13 @@ class IntegrationLegalizer
                      int ignore_a, int ignore_b) const;
 
     IntegrationParams params_;
+
+    /**
+     * ownersIn scratch for resonanceOk: the tau probe runs once per
+     * candidate slot of every repair move, so it must not allocate.
+     * The legalizer is single-threaded; mutable is safe here.
+     */
+    mutable std::vector<std::int32_t> ownerScratch_;
 };
 
 } // namespace qplacer

@@ -8,6 +8,7 @@
 #include "legal/spiral.hpp"
 #include "legal/tetris.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace qplacer {
 
@@ -22,16 +23,21 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
 {
     result = LegalizeResult{};
     OccupancyGrid grid(netlist.region(), params_.cellUm);
+    grid.setProbeEngine(params_.probeEngine);
 
     // --- Stage 1: qubits (greedy spiral, central-first order). ---
+    Timer stage_timer;
     const Vec2 center = netlist.region().center();
     std::vector<int> qubit_order(netlist.numQubits());
     std::iota(qubit_order.begin(), qubit_order.end(), 0);
+    // Center distances precomputed once: the comparator used to call
+    // Vec2::dist twice per invocation, ~2 N log N sqrt's per sort.
+    std::vector<double> center_dist(netlist.numQubits());
+    for (int q = 0; q < netlist.numQubits(); ++q)
+        center_dist[q] = netlist.instance(q).pos.dist(center);
     std::sort(qubit_order.begin(), qubit_order.end(), [&](int a, int b) {
-        const double da = netlist.instance(a).pos.dist(center);
-        const double db = netlist.instance(b).pos.dist(center);
-        if (da != db)
-            return da < db;
+        if (center_dist[a] != center_dist[b])
+            return center_dist[a] < center_dist[b];
         return a < b;
     });
 
@@ -49,13 +55,19 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
         inst.pos = *spot;
         grid.occupy(Rect::fromCenter(*spot, w, h), q);
     }
+    result.spiralSeconds = stage_timer.seconds();
 
     // --- Stage 1b: min-cost-flow refinement over the pooled sites. ---
+    stage_timer.reset();
     if (params_.flowRefine && netlist.numQubits() > 1) {
         std::vector<Vec2> sites(netlist.numQubits());
         for (int q = 0; q < netlist.numQubits(); ++q)
             sites[q] = netlist.instance(q).pos;
-        const std::vector<int> assign = refineAssignment(desired, sites);
+        FlowRefineOptions options;
+        options.sparseThreshold = params_.flowSparseThreshold;
+        options.neighbors = params_.flowSparseNeighbors;
+        const std::vector<int> assign =
+            refineAssignment(desired, sites, options);
         for (int q = 0; q < netlist.numQubits(); ++q)
             netlist.instance(q).pos = sites[assign[q]];
     }
@@ -63,27 +75,32 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
         result.qubitDisplacementUm +=
             desired[q].dist(netlist.instance(q).pos);
     }
+    result.flowRefineSeconds = stage_timer.seconds();
 
     // --- Stage 2: segments (Tetris). ---
     if (cancel && cancel->cancelled()) {
         result.cancelled = true;
         return true;
     }
+    stage_timer.reset();
     if (!tetrisLegalizeSegments(netlist, grid,
                                 params_.integrationParams,
                                 result.segmentDisplacementUm)) {
         return false;
     }
+    result.tetrisSeconds = stage_timer.seconds();
 
     // --- Stage 3: integration-aware repair. ---
     if (cancel && cancel->cancelled()) {
         result.cancelled = true;
         return true;
     }
+    stage_timer.reset();
     if (params_.integration) {
         IntegrationLegalizer integrator(params_.integrationParams);
         result.integration = integrator.run(netlist, grid);
     }
+    result.integrationSeconds = stage_timer.seconds();
     return true;
 }
 

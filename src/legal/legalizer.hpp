@@ -25,6 +25,26 @@ struct LegalizerParams
     /** Run the min-cost-flow refinement after spiral legalization. */
     bool flowRefine = true;
 
+    /**
+     * Qubit count above which the flow refinement switches from the
+     * exact dense assignment (every qubit x every site) to sparse
+     * candidate edges (own site + k nearest via a spatial hash). The
+     * default keeps every paper device -- and the golden regression
+     * instances -- on the exact path; 1000+ qubit parametric devices
+     * go sparse. Validated in FlowParams::normalized().
+     */
+    int flowSparseThreshold = 512;
+
+    /** Candidate sites per qubit on the sparse flow path. */
+    int flowSparseNeighbors = 16;
+
+    /**
+     * Occupancy probe implementation (spiral + canPlace). Reference is
+     * the pre-bitset per-cell scan, kept for the equivalence suite and
+     * the legalize_scale speedup gate; results are bitwise-identical.
+     */
+    ProbeEngine probeEngine = ProbeEngine::Fast;
+
     /** Run the integration-aware repair pass. */
     bool integration = true;
 
@@ -40,6 +60,14 @@ struct LegalizeResult
     IntegrationLegalizer::Result integration;
     bool legal = false;     ///< No padded-footprint overlaps at exit.
     bool cancelled = false; ///< Stopped early by a CancelToken.
+
+    // Sub-stage wall clocks of the final legalization attempt (the
+    // one whose layout survived), surfaced through FlowResult and the
+    // CLI's --report json for profiling 1000+ qubit instances.
+    double spiralSeconds = 0.0;      ///< Qubit spiral search.
+    double flowRefineSeconds = 0.0;  ///< Min-cost-flow refinement.
+    double tetrisSeconds = 0.0;      ///< Segment Tetris scan.
+    double integrationSeconds = 0.0; ///< Integration-aware repair.
 };
 
 /** End-to-end legalizer. */

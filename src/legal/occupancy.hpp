@@ -5,6 +5,19 @@
  * All component footprints in the flow (padded qubits: 800 um, padded
  * segments: l_b + 100 um) are multiples of 100 um, so a 100 um cell grid
  * represents any legal arrangement exactly.
+ *
+ * Scale: alongside the per-cell owner map the grid maintains a
+ * word-packed occupancy bitset (one bit per cell) and a hierarchical
+ * summary level (one bit per 8x8 block, set when the block is fully
+ * occupied). canPlace() tests a footprint span with a handful of masked
+ * word reads -- ~O(span/64) instead of O(span) -- and dense
+ * neighbourhoods reject in O(1) off the summary bits. nextPlaceableX()/
+ * nextPlaceableY() expose "first free slot at or after" scans so the
+ * spiral legalizer can skip fully-occupied stretches of a ring
+ * wholesale. Every fast query is exact: the bitsets mirror the owner
+ * map bit for bit, so results are identical to the per-cell reference
+ * scan (ProbeEngine::Reference keeps that scan alive for equivalence
+ * tests and the legalize_scale benchmark).
  */
 
 #ifndef QPLACER_LEGAL_OCCUPANCY_HPP
@@ -17,6 +30,19 @@
 
 namespace qplacer {
 
+/**
+ * Which canPlace/spiral implementation to use. Fast (the default) runs
+ * the bitset word probes and ring skips; Reference runs the original
+ * per-cell owner scan. Both are exact and produce bitwise-identical
+ * layouts -- Reference exists as the baseline for the equivalence
+ * suite and the legalize_scale speedup gate.
+ */
+enum class ProbeEngine
+{
+    Fast,
+    Reference,
+};
+
 /** Grid of ownership cells over the placement region. */
 class OccupancyGrid
 {
@@ -26,6 +52,12 @@ class OccupancyGrid
      * @param cell_um Cell edge (must divide all footprints used).
      */
     OccupancyGrid(Rect region, double cell_um);
+
+    /** Inclusive cell index ranges of a footprint (may be off-grid). */
+    struct CellSpan
+    {
+        int x0, x1, y0, y1;
+    };
 
     /** True if @p rect lies in-region and covers only free cells. */
     bool canPlace(const Rect &rect) const;
@@ -45,8 +77,20 @@ class OccupancyGrid
     /** Owner of the cell containing @p p (-1 if free/out of range). */
     std::int32_t ownerAt(Vec2 p) const;
 
-    /** Owners overlapping @p rect (deduplicated). */
+    /**
+     * Owners overlapping @p rect, deduplicated, in first-encountered
+     * (row-major scan) order -- the order the integration legalizer's
+     * swap-candidate loop depends on.
+     */
     std::vector<std::int32_t> ownersIn(const Rect &rect) const;
+
+    /**
+     * Allocation-free ownersIn: @p out is cleared and receives the
+     * owners overlapping @p rect, deduplicated via sort+unique, in
+     * ascending id order. For order-insensitive set probes (the tau
+     * resonance checks) on the hot path.
+     */
+    void ownersIn(const Rect &rect, std::vector<std::int32_t> &out) const;
 
     /**
      * Snap a desired center so that a w x h rect is cell-aligned and
@@ -54,24 +98,62 @@ class OccupancyGrid
      */
     Vec2 snapCenter(Vec2 desired, double w, double h) const;
 
+    /** Cell index span of @p rect (unclamped; callers bound-check). */
+    CellSpan cellSpanOf(const Rect &rect) const;
+
+    /**
+     * Smallest x0 >= @p x_from such that cells [x0, x0 + span_w) x
+     * [y0, y1] are all free and x0 + span_w <= nx(); nx() if no such
+     * start exists. Pure occupancy (no region or ignore-id semantics);
+     * rows are clamped to the grid. Powers the spiral ring skip.
+     */
+    int nextPlaceableX(int y0, int y1, int x_from, int span_w) const;
+
+    /** Vertical counterpart of nextPlaceableX (returns ny() if none). */
+    int nextPlaceableY(int x0, int x1, int y_from, int span_h) const;
+
+    /** Probe implementation used by canPlace and the spiral search. */
+    ProbeEngine probeEngine() const { return engine_; }
+    void setProbeEngine(ProbeEngine engine) { engine_ = engine; }
+
     double cellUm() const { return cellUm_; }
     const Rect &region() const { return region_; }
     int nx() const { return nx_; }
     int ny() const { return ny_; }
 
   private:
-    struct Span
-    {
-        int x0, x1, y0, y1; // inclusive cell ranges
-    };
-    Span spanOf(const Rect &rect) const;
+    CellSpan spanOf(const Rect &rect) const;
     bool inRegion(const Rect &rect) const;
+
+    /** Fast span test: masked word reads + full-block summary reject. */
+    bool spanFree(const CellSpan &s, std::int32_t ignore_id) const;
+
+    /** Reference span test: the original per-cell owner scan. */
+    bool spanFreeScan(const CellSpan &s, std::int32_t ignore_id) const;
+
+    /** Recompute the full-block summary bits touching cell span @p s. */
+    void refreshSummary(const CellSpan &s);
 
     Rect region_;
     double cellUm_;
     int nx_;
     int ny_;
+    ProbeEngine engine_ = ProbeEngine::Fast;
     std::vector<std::int32_t> owner_;
+
+    // Occupancy bitset: wordsPerRow_ words per row, bit ix%64 of word
+    // (iy * wordsPerRow_ + ix/64) set iff the cell is owned.
+    int wordsPerRow_;
+    std::vector<std::uint64_t> occ_;
+
+    // Summary level: one bit per 8x8 cell block, set iff every in-grid
+    // cell of the block is owned. A set bit intersecting a probe span
+    // rejects canPlace without reading the detail words; bits are only
+    // ever conservatively cleared, never stale-set.
+    int nbx_;
+    int nby_;
+    int summaryWordsPerRow_;
+    std::vector<std::uint64_t> full_;
 };
 
 } // namespace qplacer

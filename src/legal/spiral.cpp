@@ -1,9 +1,134 @@
 #include "legal/spiral.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 
 namespace qplacer {
+
+namespace {
+
+/**
+ * Reference ring walk: probe every candidate of every ring through
+ * canPlace. Kept verbatim as the baseline the fast path must match
+ * bit for bit (equivalence suite + legalize_scale gate).
+ */
+template <typename TryAt>
+std::optional<Vec2>
+ringWalkReference(int max_radius, const TryAt &try_at)
+{
+    for (int r = 1; r <= max_radius; ++r) {
+        for (int dx = -r; dx <= r; ++dx) {
+            if (auto hit = try_at(dx, -r))
+                return hit;
+            if (auto hit = try_at(dx, r))
+                return hit;
+        }
+        for (int dy = -r + 1; dy <= r - 1; ++dy) {
+            if (auto hit = try_at(-r, dy))
+                return hit;
+            if (auto hit = try_at(r, dy))
+                return hit;
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * Fast ring walk: identical candidate order, but each ring side keeps
+ * a "first free slot at or after" cursor (nextPlaceableX/Y over the
+ * occupancy bitset), so probes inside a known-occupied stretch are
+ * skipped without being tested. A probe is only ever skipped when its
+ * cell span is fully on-grid and the cursor proves the span occupied
+ * -- conditions under which canPlace() is guaranteed false -- so the
+ * first accepted candidate is exactly the reference one.
+ */
+template <typename TryAt>
+std::optional<Vec2>
+ringWalkFast(const OccupancyGrid &grid, const OccupancyGrid::CellSpan &base,
+             int max_radius, const TryAt &try_at)
+{
+    const int nx = grid.nx();
+    const int ny = grid.ny();
+    const int span_w = base.x1 - base.x0 + 1;
+    const int span_h = base.y1 - base.y0 + 1;
+
+    for (int r = 1; r <= max_radius; ++r) {
+        // Top/bottom ring rows: x sweeps left to right in two fixed
+        // row bands, one next-free-x cursor each.
+        const int lo_y0 = base.y0 - r;
+        const int hi_y0 = base.y0 + r;
+        const bool lo_on_grid = lo_y0 >= 0 && lo_y0 + span_h <= ny;
+        const bool hi_on_grid = hi_y0 >= 0 && hi_y0 + span_h <= ny;
+        int next_lo = INT_MIN;
+        int next_hi = INT_MIN;
+        for (int dx = -r; dx <= r; ++dx) {
+            const int x0 = base.x0 + dx;
+            const bool x_on_grid = x0 >= 0 && x0 + span_w <= nx;
+            if (!lo_on_grid || !x_on_grid) {
+                if (auto hit = try_at(dx, -r))
+                    return hit;
+            } else if (x0 >= next_lo) {
+                next_lo = grid.nextPlaceableX(lo_y0, lo_y0 + span_h - 1,
+                                              x0, span_w);
+                if (next_lo == x0) {
+                    if (auto hit = try_at(dx, -r))
+                        return hit;
+                }
+            }
+            if (!hi_on_grid || !x_on_grid) {
+                if (auto hit = try_at(dx, r))
+                    return hit;
+            } else if (x0 >= next_hi) {
+                next_hi = grid.nextPlaceableX(hi_y0, hi_y0 + span_h - 1,
+                                              x0, span_w);
+                if (next_hi == x0) {
+                    if (auto hit = try_at(dx, r))
+                        return hit;
+                }
+            }
+        }
+
+        // Left/right ring columns: y sweeps bottom to top in two fixed
+        // column bands, one next-free-y cursor each.
+        const int left_x0 = base.x0 - r;
+        const int right_x0 = base.x0 + r;
+        const bool left_on_grid = left_x0 >= 0 && left_x0 + span_w <= nx;
+        const bool right_on_grid =
+            right_x0 >= 0 && right_x0 + span_w <= nx;
+        int next_left = INT_MIN;
+        int next_right = INT_MIN;
+        for (int dy = -r + 1; dy <= r - 1; ++dy) {
+            const int y0 = base.y0 + dy;
+            const bool y_on_grid = y0 >= 0 && y0 + span_h <= ny;
+            if (!left_on_grid || !y_on_grid) {
+                if (auto hit = try_at(-r, dy))
+                    return hit;
+            } else if (y0 >= next_left) {
+                next_left = grid.nextPlaceableY(
+                    left_x0, left_x0 + span_w - 1, y0, span_h);
+                if (next_left == y0) {
+                    if (auto hit = try_at(-r, dy))
+                        return hit;
+                }
+            }
+            if (!right_on_grid || !y_on_grid) {
+                if (auto hit = try_at(r, dy))
+                    return hit;
+            } else if (y0 >= next_right) {
+                next_right = grid.nextPlaceableY(
+                    right_x0, right_x0 + span_w - 1, y0, span_h);
+                if (next_right == y0) {
+                    if (auto hit = try_at(r, dy))
+                        return hit;
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
 
 std::optional<Vec2>
 spiralSearch(const OccupancyGrid &grid, Vec2 desired, double w, double h,
@@ -35,23 +160,12 @@ spiralSearchFiltered(const OccupancyGrid &grid, Vec2 desired, double w,
     if (auto hit = try_at(0, 0))
         return hit;
 
-    for (int r = 1; r <= max_radius; ++r) {
-        // Walk the ring of Chebyshev radius r, preferring positions
-        // closest to the desired point first within the ring.
-        for (int dx = -r; dx <= r; ++dx) {
-            if (auto hit = try_at(dx, -r))
-                return hit;
-            if (auto hit = try_at(dx, r))
-                return hit;
-        }
-        for (int dy = -r + 1; dy <= r - 1; ++dy) {
-            if (auto hit = try_at(-r, dy))
-                return hit;
-            if (auto hit = try_at(r, dy))
-                return hit;
-        }
-    }
-    return std::nullopt;
+    if (grid.probeEngine() == ProbeEngine::Reference)
+        return ringWalkReference(max_radius, try_at);
+
+    const OccupancyGrid::CellSpan base =
+        grid.cellSpanOf(Rect::fromCenter(snapped, w, h));
+    return ringWalkFast(grid, base, max_radius, try_at);
 }
 
 } // namespace qplacer

@@ -36,6 +36,11 @@ tetrisLegalizeSegments(Netlist &netlist, OccupancyGrid &grid,
         return a < b;
     });
 
+    // Probe scratch shared across every tau_ok invocation: the
+    // resonance check runs once per spiral candidate, so a per-probe
+    // std::vector allocation used to dominate dense neighbourhoods.
+    std::vector<std::int32_t> owner_scratch;
+
     for (int r : res_order) {
         const Resonator &res = netlist.resonator(r);
         Vec2 anchor;
@@ -56,7 +61,8 @@ tetrisLegalizeSegments(Netlist &netlist, OccupancyGrid &grid,
                     const Rect probe =
                         Rect::fromCenter(center, w, h)
                             .inflated(params.probeTolUm);
-                    for (std::int32_t other : grid.ownersIn(probe)) {
+                    grid.ownersIn(probe, owner_scratch);
+                    for (std::int32_t other : owner_scratch) {
                         if (other == id)
                             continue;
                         const Instance &o = netlist.instance(other);

@@ -14,6 +14,15 @@ MinCostFlow::MinCostFlow(int num_nodes)
         panic("MinCostFlow: non-positive node count");
 }
 
+void
+MinCostFlow::reserveNode(int node, std::size_t degree)
+{
+    if (node < 0 || node >= numNodes_)
+        panic(str("MinCostFlow::reserveNode: node out of range (", node,
+                  ")"));
+    graph_[node].reserve(degree);
+}
+
 int
 MinCostFlow::addEdge(int from, int to, std::int64_t capacity,
                      std::int64_t cost)

@@ -31,6 +31,14 @@ class MinCostFlow
      */
     int addEdge(int from, int to, std::int64_t capacity, std::int64_t cost);
 
+    /**
+     * Pre-size @p node's adjacency for @p degree edge slots (forward
+     * plus reverse). Purely a reallocation hint for bulk graph
+     * construction -- the legalization refinement adds O(n) arcs per
+     * item node -- with no effect on results.
+     */
+    void reserveNode(int node, std::size_t degree);
+
     /** Result of a solve: total flow pushed and its total cost. */
     struct Result
     {

@@ -69,6 +69,50 @@ TEST(FlowRefine, BeatsRandomAssignments)
     }
 }
 
+TEST(FlowRefine, SparsePathIsAValidNearOptimalPermutation)
+{
+    Rng rng(23);
+    std::vector<Vec2> desired;
+    std::vector<Vec2> sites;
+    for (int i = 0; i < 40; ++i) {
+        desired.emplace_back(rng.uniform(0, 8000), rng.uniform(0, 8000));
+        sites.emplace_back(rng.uniform(0, 8000), rng.uniform(0, 8000));
+    }
+
+    FlowRefineOptions opts;
+    opts.sparseThreshold = 0; // force the sparse path at any size
+    opts.neighbors = 8;
+    const auto sparse = refineAssignment(desired, sites, opts);
+    const std::set<int> unique(sparse.begin(), sparse.end());
+    EXPECT_EQ(unique.size(), 40u);
+
+    // Restricted candidates can never beat the exact dense optimum.
+    const auto dense = refineAssignment(desired, sites);
+    EXPECT_GE(totalCost(desired, sites, sparse) + 1e-9,
+              totalCost(desired, sites, dense));
+
+    // ...and the sparse path is deterministic.
+    EXPECT_EQ(sparse, refineAssignment(desired, sites, opts));
+
+    // Asking for >= n neighbors collapses to the exact dense solve.
+    opts.neighbors = 64;
+    EXPECT_EQ(refineAssignment(desired, sites, opts), dense);
+}
+
+TEST(FlowRefine, SparseIdentityStaysZeroCost)
+{
+    // Items sitting exactly on their own site: the own-site candidate
+    // arc keeps the sparse solve at zero displacement.
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 24; ++i)
+        pts.emplace_back(100.0 * i, 700.0 * (i % 5));
+    FlowRefineOptions opts;
+    opts.sparseThreshold = 0;
+    opts.neighbors = 4;
+    const auto assign = refineAssignment(pts, pts, opts);
+    EXPECT_EQ(totalCost(pts, pts, assign), 0.0);
+}
+
 TEST(FlowRefine, EmptyInput)
 {
     EXPECT_TRUE(refineAssignment({}, {}).empty());

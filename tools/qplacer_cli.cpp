@@ -90,6 +90,9 @@ Options:
                       placer.threads,
                       assigner.distance2, assigner.detuningThresholdGHz,
                       legalizer.cellUm, legalizer.flowRefine,
+                      legalizer.flowSparseThreshold,
+                      legalizer.flowSparseNeighbors,
+                      legalizer.referenceProbes,
                       legalizer.integration, hotspot.adjacencyTolUm.
   --csv PATH          Write a metrics CSV to PATH (one row per job).
   --svg PATH          Render the placed layout to PATH as SVG (--jobs 1).
@@ -121,6 +124,9 @@ const char *kKnownSetKeys[] = {
     "assigner.detuningThresholdGHz",
     "legalizer.cellUm",
     "legalizer.flowRefine",
+    "legalizer.flowSparseThreshold",
+    "legalizer.flowSparseNeighbors",
+    "legalizer.referenceProbes",
     "legalizer.integration",
     "hotspot.adjacencyTolUm",
 };
@@ -284,6 +290,17 @@ applyOverrides(const Config &cfg, FlowParams &params)
     LegalizerParams &lp = params.legalizer;
     lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
     lp.flowRefine = cfg.getBool("legalizer.flowRefine", lp.flowRefine);
+    lp.flowSparseThreshold = static_cast<int>(cfg.getInt(
+        "legalizer.flowSparseThreshold", lp.flowSparseThreshold));
+    lp.flowSparseNeighbors = static_cast<int>(cfg.getInt(
+        "legalizer.flowSparseNeighbors", lp.flowSparseNeighbors));
+    // The reference probe engine exists for A/B timing (see
+    // bench/legalize_scale); layouts are identical either way.
+    lp.probeEngine = cfg.getBool("legalizer.referenceProbes",
+                                 lp.probeEngine ==
+                                     ProbeEngine::Reference)
+                         ? ProbeEngine::Reference
+                         : ProbeEngine::Fast;
     lp.integration = cfg.getBool("legalizer.integration", lp.integration);
 
     params.hotspot.adjacencyTolUm =
@@ -536,7 +553,12 @@ printReportJson(std::ostream &os, const Topology &topo,
            << ", \"segment_disp_um\": "
            << jsonNum(r.legal.segmentDisplacementUm)
            << ", \"unintegrated\": " << r.legal.integration.unintegrated
-           << "},\n";
+           << ", \"stages\": {\"spiral\": "
+           << jsonNum(r.legal.spiralSeconds)
+           << ", \"flow_refine\": " << jsonNum(r.legal.flowRefineSeconds)
+           << ", \"tetris\": " << jsonNum(r.legal.tetrisSeconds)
+           << ", \"integration\": "
+           << jsonNum(r.legal.integrationSeconds) << "}},\n";
         os << "      \"area\": {\"amer_um2\": " << jsonNum(r.area.amerUm2)
            << ", \"apoly_um2\": " << jsonNum(r.area.apolyUm2)
            << ", \"utilization\": " << jsonNum(r.area.utilization)
