@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Assign/build scaling: wall-time of frequency assignment and netlist
+ * construction on grid, octagon, and heavy-hex devices from 1k to 10k
+ * qubits, comparing the retained reference engines (linear-scan DSATUR,
+ * all-pairs resonator loops, sequential append-order builder) against
+ * the fast paths (saturation-heap DSATUR with colour bitsets, incident-
+ * list resonator graph, prefix-summed parallel builder).
+ *
+ * The comparison *gates* the equivalence contract: both assigners must
+ * produce identical colourings, bitwise-identical frequency vectors and
+ * agreeing violation counts, and both builders bitwise-identical
+ * netlists (exit 1 otherwise) -- the speedup itself is gated in nightly
+ * CI from the CSV on the 1000+ qubit instances.
+ *
+ * Environment overrides:
+ *   QP_THREADS  builder worker threads (default 0 = hardware)
+ *
+ * Usage: bench_assign_scale [out.csv]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace qplacer::bench {
+namespace {
+
+struct Workload
+{
+    std::string name;
+    Topology topo;
+};
+
+/** Element-wise bitwise comparison (NaN-safe, unlike operator==). */
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct AssignRun
+{
+    FrequencyAssignment freqs;
+    AssignStats stats;
+    int violations = 0;
+    double seconds = 0.0;
+};
+
+AssignRun
+runAssign(const Topology &topo, AssignEngine engine)
+{
+    AssignerParams params;
+    params.engine = engine;
+    const FrequencyAssigner assigner(params);
+    AssignRun run;
+    Timer timer;
+    run.freqs = assigner.assign(topo, &run.stats);
+    run.seconds = timer.seconds();
+    run.violations = assigner.countDomainViolations(topo, run.freqs);
+    return run;
+}
+
+struct BuildRun
+{
+    Netlist netlist;
+    BuildStats stats;
+    double seconds = 0.0;
+};
+
+BuildRun
+runBuild(const Topology &topo, const FrequencyAssignment &freqs,
+         BuildEngine engine, ThreadPool *pool)
+{
+    PartitionParams params;
+    params.buildEngine = engine;
+    const NetlistBuilder builder(params);
+    BuildRun run;
+    Timer timer;
+    run.netlist = builder.build(topo, freqs, 0.72, pool, &run.stats);
+    run.seconds = timer.seconds();
+    return run;
+}
+
+int
+run(int argc, char **argv)
+{
+    const int threads = static_cast<int>(Config::envInt("QP_THREADS", 0));
+    ThreadPool pool(threads);
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"grid32x32", makeGrid(32, 32)});
+    workloads.push_back({"octagon12x12", makeOctagon(12, 12)});
+    workloads.push_back({"heavyhex40x60", makeHeavyHex(40, 60)});
+    workloads.push_back({"grid64x64", makeGrid(64, 64)});
+    workloads.push_back({"grid100x100", makeGrid(100, 100)});
+
+    banner("assign/build scaling: reference vs. fast engines");
+    std::printf("builder pool: %d threads\n", pool.threads());
+
+    std::vector<std::vector<std::string>> rows;
+    bool all_identical = true;
+
+    for (const Workload &wl : workloads) {
+        const AssignRun aref = runAssign(wl.topo, AssignEngine::Reference);
+        const AssignRun afast = runAssign(wl.topo, AssignEngine::Fast);
+
+        const BuildRun bref = runBuild(wl.topo, afast.freqs,
+                                       BuildEngine::Reference, nullptr);
+        const BuildRun bfast =
+            runBuild(wl.topo, afast.freqs, BuildEngine::Fast, &pool);
+
+        const bool assign_identical =
+            aref.freqs.qubitColor == afast.freqs.qubitColor &&
+            aref.freqs.resonatorColor == afast.freqs.resonatorColor &&
+            sameBits(aref.freqs.qubitFreqHz, afast.freqs.qubitFreqHz) &&
+            sameBits(aref.freqs.resonatorFreqHz,
+                     afast.freqs.resonatorFreqHz) &&
+            aref.freqs.numQubitSlots == afast.freqs.numQubitSlots &&
+            aref.freqs.numResonatorSlots ==
+                afast.freqs.numResonatorSlots &&
+            aref.violations == afast.violations;
+        const bool build_identical =
+            bitwiseSameNetlist(bref.netlist, bfast.netlist);
+        const bool identical = assign_identical && build_identical;
+        all_identical = all_identical && identical;
+
+        const double ref_s = aref.seconds + bref.seconds;
+        const double fast_s = afast.seconds + bfast.seconds;
+        const double speedup = fast_s > 0.0 ? ref_s / fast_s : 0.0;
+
+        std::printf("%s: %d qubits, %d cells\n", wl.name.c_str(),
+                    wl.topo.numQubits(), bfast.netlist.numInstances());
+        std::printf("  assign: reference %7.3fs  fast %7.3fs  "
+                    "(%d violations both)  identical: %s\n",
+                    aref.seconds, afast.seconds, afast.violations,
+                    assign_identical ? "yes" : "NO");
+        std::printf("  build:  reference %7.3fs  fast %7.3fs @ %d "
+                    "threads  bitwise-identical: %s\n",
+                    bref.seconds, bfast.seconds, bfast.stats.threads,
+                    build_identical ? "yes" : "NO");
+        std::printf("  total:  reference %7.3fs  fast %7.3fs  %.2fx\n",
+                    ref_s, fast_s, speedup);
+        std::printf("  fast assign stages: interference %.3fs  "
+                    "qubit_color %.3fs  res_graph %.3fs  "
+                    "res_color %.3fs\n",
+                    afast.stats.interferenceSeconds,
+                    afast.stats.qubitColorSeconds,
+                    afast.stats.resonatorGraphSeconds,
+                    afast.stats.resonatorColorSeconds);
+        std::printf("  fast build stages:  segments %.3fs  "
+                    "instances %.3fs  warm_start %.3fs  finalize %.3fs\n",
+                    bfast.stats.segmentsSeconds,
+                    bfast.stats.instancesSeconds,
+                    bfast.stats.warmStartSeconds,
+                    bfast.stats.finalizeSeconds);
+
+        rows.push_back(
+            {CsvWriter::cell(wl.name),
+             CsvWriter::cell(
+                 static_cast<long long>(wl.topo.numQubits())),
+             CsvWriter::cell(static_cast<long long>(
+                 bfast.netlist.numInstances())),
+             CsvWriter::cell(ref_s), CsvWriter::cell(fast_s),
+             CsvWriter::cell(speedup),
+             CsvWriter::cell(static_cast<long long>(identical)),
+             CsvWriter::cell(aref.seconds), CsvWriter::cell(afast.seconds),
+             CsvWriter::cell(bref.seconds), CsvWriter::cell(bfast.seconds),
+             CsvWriter::cell(
+                 static_cast<long long>(bfast.stats.threads)),
+             CsvWriter::cell(afast.stats.interferenceSeconds),
+             CsvWriter::cell(afast.stats.qubitColorSeconds),
+             CsvWriter::cell(afast.stats.resonatorGraphSeconds),
+             CsvWriter::cell(afast.stats.resonatorColorSeconds),
+             CsvWriter::cell(bfast.stats.segmentsSeconds),
+             CsvWriter::cell(bfast.stats.instancesSeconds),
+             CsvWriter::cell(bfast.stats.warmStartSeconds),
+             CsvWriter::cell(bfast.stats.finalizeSeconds)});
+    }
+
+    if (argc > 1) {
+        CsvWriter csv(argv[1]);
+        csv.header({"workload", "qubits", "cells", "ref_s", "fast_s",
+                    "speedup", "identical", "assign_ref_s",
+                    "assign_fast_s", "build_ref_s", "build_fast_s",
+                    "build_threads", "interference_s", "qubit_color_s",
+                    "resonator_graph_s", "resonator_color_s",
+                    "segments_s", "instances_s", "warm_start_s",
+                    "finalize_s"});
+        for (const auto &row : rows)
+            csv.row(row);
+        std::printf("wrote %s\n", argv[1]);
+    }
+
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: fast assign/build outputs diverged "
+                             "from the reference engines\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace qplacer::bench
+
+int
+main(int argc, char **argv)
+{
+    return qplacer::bench::run(argc, argv);
+}

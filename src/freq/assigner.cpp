@@ -1,11 +1,64 @@
 #include "freq/assigner.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <set>
+#include <tuple>
 
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace qplacer {
+namespace {
+
+/**
+ * Resonator interference graph: resonators sharing a qubit must be
+ * mutually detuned (they hang off the same pad). Sparse build: two
+ * couplers share at most one qubit (the coupling graph has no
+ * duplicate edges), so enumerating pairs within each qubit's
+ * incident-coupler list visits every sharing pair exactly once --
+ * O(sum deg^2) instead of the all-pairs O(m^2).
+ */
+Graph
+resonatorShareGraphSparse(const Graph &coupling)
+{
+    const int nr = coupling.numEdges();
+    Graph res(nr);
+    std::vector<std::vector<int>> incident(coupling.numNodes());
+    for (int e = 0; e < nr; ++e) {
+        const auto &[u, v] = coupling.edges()[e];
+        incident[u].push_back(e);
+        incident[v].push_back(e);
+    }
+    for (const auto &list : incident) {
+        for (std::size_t i = 0; i < list.size(); ++i)
+            for (std::size_t j = i + 1; j < list.size(); ++j)
+                res.addEdge(list[i], list[j]);
+    }
+    return res;
+}
+
+/** The pre-scaling all-pairs share-graph build (Reference engine). */
+Graph
+resonatorShareGraphAllPairs(const Graph &coupling)
+{
+    const int nr = coupling.numEdges();
+    Graph res(nr);
+    for (int a = 0; a < nr; ++a) {
+        const auto &[a1, a2] = coupling.edges()[a];
+        for (int b = a + 1; b < nr; ++b) {
+            const auto &[b1, b2] = coupling.edges()[b];
+            const bool share =
+                a1 == b1 || a1 == b2 || a2 == b1 || a2 == b2;
+            if (share)
+                res.addEdge(a, b);
+        }
+    }
+    return res;
+}
+
+} // namespace
 
 FrequencyAssigner::FrequencyAssigner(AssignerParams params)
     : params_(params)
@@ -14,6 +67,66 @@ FrequencyAssigner::FrequencyAssigner(AssignerParams params)
 
 std::vector<int>
 FrequencyAssigner::dsatur(const Graph &graph)
+{
+    const int n = graph.numNodes();
+    std::vector<int> color(n, -1);
+    if (n == 0)
+        return color;
+
+    // A node's colour is at most its count of distinctly-coloured
+    // neighbours, so every colour fits in maxDegree + 1 bits; the used
+    // set per node is a flat bitset over that range.
+    const int max_colors = graph.maxDegree() + 1;
+    const int words = (max_colors + 63) / 64;
+    std::vector<std::uint64_t> used(static_cast<std::size_t>(n) * words,
+                                    0);
+    std::vector<int> sat(n, 0);
+
+    // Candidate order = the reference scan's selection: maximum
+    // saturation, ties by maximum degree, then smallest index. A node
+    // is re-keyed only when a neighbour's colouring grows its
+    // saturation, so total maintenance is O((n + m) log n).
+    using Key = std::tuple<int, int, int>; // (-sat, -degree, index)
+    std::set<Key> candidates;
+    for (int v = 0; v < n; ++v)
+        candidates.insert({0, -graph.degree(v), v});
+
+    for (int step = 0; step < n; ++step) {
+        const auto [neg_sat, neg_deg, best] = *candidates.begin();
+        candidates.erase(candidates.begin());
+
+        // Smallest colour not used by neighbours: first zero bit. The
+        // bitset always has one (colour <= saturation < max_colors).
+        const std::uint64_t *row =
+            used.data() + static_cast<std::size_t>(best) * words;
+        int c = 0;
+        for (int w = 0; w < words; ++w) {
+            if (row[w] != ~std::uint64_t{0}) {
+                c = w * 64 + std::countr_one(row[w]);
+                break;
+            }
+        }
+        color[best] = c;
+
+        for (int u : graph.neighbors(best)) {
+            if (color[u] >= 0)
+                continue;
+            std::uint64_t &word =
+                used[static_cast<std::size_t>(u) * words + c / 64];
+            const std::uint64_t bit = std::uint64_t{1} << (c % 64);
+            if (word & bit)
+                continue;
+            word |= bit;
+            candidates.erase({-sat[u], -graph.degree(u), u});
+            ++sat[u];
+            candidates.insert({-sat[u], -graph.degree(u), u});
+        }
+    }
+    return color;
+}
+
+std::vector<int>
+FrequencyAssigner::dsaturReference(const Graph &graph)
 {
     const int n = graph.numNodes();
     std::vector<int> color(n, -1);
@@ -44,6 +157,14 @@ FrequencyAssigner::dsatur(const Graph &graph)
             neighbor_colors[u].insert(c);
     }
     return color;
+}
+
+std::vector<int>
+FrequencyAssigner::colorGraph(const Graph &graph) const
+{
+    return params_.engine == AssignEngine::Reference
+               ? dsaturReference(graph)
+               : dsatur(graph);
 }
 
 std::vector<double>
@@ -79,37 +200,56 @@ FrequencyAssigner::colorsToFrequencies(const std::vector<int> &colors,
     warn(str("frequency assigner: ", num_colors, " colours exceed the ",
              capacity, " available slots; partitioning slots between "
                        "hard colour classes"));
-    const std::vector<int> hard = dsatur(hard_edges);
+    const std::vector<int> hard = colorGraph(hard_edges);
     int num_hard = 0;
     for (int c : hard)
         num_hard = std::max(num_hard, c + 1);
-    if (num_hard > used) {
-        warn("frequency assigner: hard chromatic number exceeds slot "
-             "capacity; coupled-pair resonances are unavoidable");
+    const int classes = std::max(num_hard, 1);
+    std::vector<std::vector<int>> class_slots(classes);
+    if (classes <= used) {
+        // Round-robin partition: every hard class owns a disjoint,
+        // non-empty slot list, so no coupled pair can land on the same
+        // slot.
+        for (int s = 0; s < used; ++s)
+            class_slots[s % classes].push_back(s);
+    } else {
+        // More hard classes than slots: some classes must alias the
+        // same slot. Alias them round-robin -- one deterministic slot
+        // per class -- instead of scattering the overflow classes over
+        // slots owned by others via a per-instance fallback, and
+        // report the coupled pairs that stay resonant once, with a
+        // count, instead of silently re-creating them.
+        for (int c = 0; c < classes; ++c)
+            class_slots[c].push_back(c % used);
+        int aliased = 0;
+        for (const auto &[u, v] : hard_edges.edges()) {
+            if (hard[u] % used == hard[v] % used)
+                ++aliased;
+        }
+        warn(str("frequency assigner: ", num_hard,
+                 " hard colour classes share ", used, " slots; ",
+                 aliased,
+                 " coupled pairs stay resonant (unavoidable)"));
     }
-    std::vector<std::vector<int>> class_slots(std::max(num_hard, 1));
-    for (int s = 0; s < used; ++s)
-        class_slots[s % std::max(num_hard, 1)].push_back(s);
 
     for (std::size_t i = 0; i < colors.size(); ++i) {
-        const auto &mine = class_slots[hard[i] % class_slots.size()];
-        const int pick = mine.empty()
-                             ? colors[i] % used
-                             : mine[colors[i] % mine.size()];
-        freqs[i] = slot_freqs[pick];
+        const auto &mine = class_slots[hard[i]];
+        freqs[i] = slot_freqs[mine[colors[i] % mine.size()]];
     }
     return freqs;
 }
 
 FrequencyAssignment
-FrequencyAssigner::assign(const Topology &topo) const
+FrequencyAssigner::assign(const Topology &topo, AssignStats *stats) const
 {
+    AssignStats local;
     FrequencyAssignment out;
     const Graph &coupling = topo.coupling;
     const int nq = coupling.numNodes();
 
     // Qubit interference graph: coupled pairs plus (optionally)
     // distance-2 pairs.
+    Timer timer;
     Graph interference(nq);
     for (const auto &[u, v] : coupling.edges())
         interference.addEdge(u, v);
@@ -121,32 +261,31 @@ FrequencyAssigner::assign(const Topology &topo) const
             }
         }
     }
+    local.interferenceSeconds = timer.seconds();
 
-    out.qubitColor = dsatur(interference);
+    timer.reset();
+    out.qubitColor = colorGraph(interference);
     out.qubitFreqHz =
         colorsToFrequencies(out.qubitColor, coupling, params_.qubitBand,
                             &out.numQubitSlots);
+    local.qubitColorSeconds = timer.seconds();
 
-    // Resonator interference graph: resonators sharing a qubit must be
-    // mutually detuned (they hang off the same pad).
-    const int nr = coupling.numEdges();
-    Graph res_graph(nr);
-    for (int a = 0; a < nr; ++a) {
-        const auto &[a1, a2] = coupling.edges()[a];
-        for (int b = a + 1; b < nr; ++b) {
-            const auto &[b1, b2] = coupling.edges()[b];
-            const bool share =
-                a1 == b1 || a1 == b2 || a2 == b1 || a2 == b2;
-            if (share)
-                res_graph.addEdge(a, b);
-        }
-    }
-    out.resonatorColor = dsatur(res_graph);
+    timer.reset();
+    const Graph res_graph = params_.engine == AssignEngine::Reference
+                                ? resonatorShareGraphAllPairs(coupling)
+                                : resonatorShareGraphSparse(coupling);
+    local.resonatorGraphSeconds = timer.seconds();
+
+    timer.reset();
+    out.resonatorColor = colorGraph(res_graph);
     out.resonatorFreqHz =
         colorsToFrequencies(out.resonatorColor, res_graph,
                             params_.resonatorBand,
                             &out.numResonatorSlots);
+    local.resonatorColorSeconds = timer.seconds();
 
+    if (stats)
+        *stats = local;
     return out;
 }
 
@@ -162,17 +301,40 @@ FrequencyAssigner::countDomainViolations(
         }
     }
     const auto &edges = topo.coupling.edges();
-    for (std::size_t a = 0; a < edges.size(); ++a) {
-        for (std::size_t b = a + 1; b < edges.size(); ++b) {
-            const bool share = edges[a].first == edges[b].first ||
-                               edges[a].first == edges[b].second ||
-                               edges[a].second == edges[b].first ||
-                               edges[a].second == edges[b].second;
-            if (share &&
-                isResonant(assignment.resonatorFreqHz[a],
-                           assignment.resonatorFreqHz[b],
-                           params_.detuningThresholdHz)) {
-                ++violations;
+    if (params_.engine == AssignEngine::Reference) {
+        for (std::size_t a = 0; a < edges.size(); ++a) {
+            for (std::size_t b = a + 1; b < edges.size(); ++b) {
+                const bool share = edges[a].first == edges[b].first ||
+                                   edges[a].first == edges[b].second ||
+                                   edges[a].second == edges[b].first ||
+                                   edges[a].second == edges[b].second;
+                if (share &&
+                    isResonant(assignment.resonatorFreqHz[a],
+                               assignment.resonatorFreqHz[b],
+                               params_.detuningThresholdHz)) {
+                    ++violations;
+                }
+            }
+        }
+        return violations;
+    }
+
+    // Sparse pass: two couplers share at most one qubit, so each
+    // sharing pair is seen exactly once across the incident lists --
+    // the count matches the all-pairs scan above.
+    std::vector<std::vector<int>> incident(topo.coupling.numNodes());
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        incident[edges[e].first].push_back(static_cast<int>(e));
+        incident[edges[e].second].push_back(static_cast<int>(e));
+    }
+    for (const auto &list : incident) {
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            for (std::size_t j = i + 1; j < list.size(); ++j) {
+                if (isResonant(assignment.resonatorFreqHz[list[i]],
+                               assignment.resonatorFreqHz[list[j]],
+                               params_.detuningThresholdHz)) {
+                    ++violations;
+                }
             }
         }
     }

@@ -10,6 +10,14 @@
  * band has slots, slots are reused round-robin -- the resulting same-
  * frequency components are graph-distant and become the placement
  * engine's spatial-isolation workload.
+ *
+ * Scaling: the default engine selects DSATUR candidates from an ordered
+ * saturation heap with per-node colour bitsets (O((n + m) log n)) and
+ * builds the resonator share graph from per-qubit incident-coupler
+ * lists (O(sum deg^2)); the pre-scaling linear-scan / all-pairs code
+ * survives as AssignEngine::Reference for A/B timing and the
+ * equivalence suites -- both engines produce identical assignments
+ * (gated in bench/assign_scale and ctest -L assign).
  */
 
 #ifndef QPLACER_FREQ_ASSIGNER_HPP
@@ -44,6 +52,32 @@ struct FrequencyAssignment
     int numResonatorSlots = 0;
 };
 
+/** Which assigner implementation runs (identical outputs either way). */
+enum class AssignEngine
+{
+    /** Saturation-heap DSATUR + sparse incident-list graph loops. */
+    Fast,
+
+    /**
+     * The pre-scaling code: linear-scan-over-std::set DSATUR and
+     * all-pairs resonator loops. Kept for the equivalence suites and
+     * the bench/assign_scale speedup gate.
+     */
+    Reference,
+};
+
+/**
+ * Sub-stage wall clocks of one assign() call, surfaced through
+ * FlowResult as "assign.stages" in qplacer_cli --report json.
+ */
+struct AssignStats
+{
+    double interferenceSeconds = 0.0;   ///< Qubit interference graph.
+    double qubitColorSeconds = 0.0;     ///< Qubit DSATUR + slot mapping.
+    double resonatorGraphSeconds = 0.0; ///< Resonator share graph.
+    double resonatorColorSeconds = 0.0; ///< Resonator DSATUR + slots.
+};
+
 /** Parameters of the frequency assigner. */
 struct AssignerParams
 {
@@ -53,6 +87,9 @@ struct AssignerParams
 
     /** Also separate distance-2 qubit pairs in frequency when possible. */
     bool distance2 = true;
+
+    /** Implementation to run (--set assigner.referenceEngine=1). */
+    AssignEngine engine = AssignEngine::Fast;
 };
 
 /** Graph-colouring frequency assigner. */
@@ -61,19 +98,35 @@ class FrequencyAssigner
   public:
     explicit FrequencyAssigner(AssignerParams params = {});
 
-    /** Assign frequencies for @p topo. */
-    FrequencyAssignment assign(const Topology &topo) const;
+    /**
+     * Assign frequencies for @p topo. @p stats (optional) receives the
+     * sub-stage wall clocks of this call.
+     */
+    FrequencyAssignment assign(const Topology &topo,
+                               AssignStats *stats = nullptr) const;
 
     /**
      * DSATUR greedy colouring of @p graph; returns colour per node.
-     * Exposed for testing.
+     * Selection order -- maximum saturation, then maximum degree, then
+     * smallest index -- is implemented with an ordered candidate set
+     * and per-node colour bitsets; colourings are identical to
+     * dsaturReference on every graph. Exposed for testing.
      */
     static std::vector<int> dsatur(const Graph &graph);
 
     /**
+     * The pre-scaling DSATUR: O(n) linear scan per selection over
+     * per-node std::set colour sets. Retained as the equivalence
+     * baseline for dsatur() and the bench/assign_scale gate.
+     */
+    static std::vector<int> dsaturReference(const Graph &graph);
+
+    /**
      * Verify that no *coupled* pair of qubits (and no two resonators
      * sharing a qubit) is resonant under @p assignment. Returns the
-     * number of violations.
+     * number of violations. The resonator pass follows the configured
+     * engine: per-qubit incident-coupler lists (Fast) or the all-pairs
+     * scan (Reference); counts agree.
      */
     int countDomainViolations(const Topology &topo,
                               const FrequencyAssignment &assignment) const;
@@ -84,12 +137,18 @@ class FrequencyAssigner
      * the band's slot capacity, slots are reused -- but never between
      * colour classes joined by a *hard* edge (direct couplings), so the
      * frequency-domain isolation of connected components survives
-     * crowding.
+     * crowding. When even the hard chromatic number exceeds the slot
+     * count, hard classes alias slots round-robin (deterministically,
+     * one slot per class) and the unavoidable still-resonant coupled
+     * pairs are counted and reported once.
      */
     std::vector<double>
     colorsToFrequencies(const std::vector<int> &colors,
                         const Graph &hard_edges,
                         const FrequencyBand &band, int *slots_used) const;
+
+    /** Engine-dispatched DSATUR. */
+    std::vector<int> colorGraph(const Graph &graph) const;
 
     AssignerParams params_;
 };

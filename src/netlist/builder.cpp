@@ -5,6 +5,8 @@
 
 #include "physics/resonator.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace qplacer {
 
@@ -15,7 +17,8 @@ NetlistBuilder::NetlistBuilder(PartitionParams params)
 
 Netlist
 NetlistBuilder::build(const Topology &topo, const FrequencyAssignment &freqs,
-                      double target_util) const
+                      double target_util, ThreadPool *pool,
+                      BuildStats *stats) const
 {
     const int nq = topo.numQubits();
     if (static_cast<int>(freqs.qubitFreqHz.size()) != nq ||
@@ -25,9 +28,27 @@ NetlistBuilder::build(const Topology &topo, const FrequencyAssignment &freqs,
               "topology");
     }
 
+    BuildStats local;
+    local.threads = pool != nullptr ? pool->threads() : 1;
+    Netlist netlist =
+        params_.buildEngine == BuildEngine::Reference
+            ? buildReference(topo, freqs, target_util, local)
+            : buildFast(topo, freqs, target_util, pool, local);
+    if (stats)
+        *stats = local;
+    return netlist;
+}
+
+Netlist
+NetlistBuilder::buildReference(const Topology &topo,
+                               const FrequencyAssignment &freqs,
+                               double target_util, BuildStats &stats) const
+{
+    const int nq = topo.numQubits();
     Netlist netlist;
 
     // Qubit instances first (ids 0..nq-1 match topology qubit ids).
+    Timer timer;
     for (int q = 0; q < nq; ++q) {
         Instance inst;
         inst.kind = InstanceKind::Qubit;
@@ -69,7 +90,9 @@ NetlistBuilder::build(const Topology &topo, const FrequencyAssignment &freqs,
             netlist.addNet(res.segments[s], res.segments[s + 1]);
         netlist.addNet(res.segments.back(), res.qubitB);
     }
+    stats.instancesSeconds = timer.seconds();
 
+    timer.reset();
     netlist.sizeRegion(target_util);
 
     // Warm-start positions from the topology embedding, scaled to fill
@@ -107,8 +130,179 @@ NetlistBuilder::build(const Topology &topo, const FrequencyAssignment &freqs,
             netlist.instance(res.segments[s]).pos = a + (b - a) * t;
         }
     }
+    stats.warmStartSeconds = timer.seconds();
+
+    timer.reset();
     netlist.clampIntoRegion();
     netlist.validate();
+    stats.finalizeSeconds = timer.seconds();
+    return netlist;
+}
+
+Netlist
+NetlistBuilder::buildFast(const Topology &topo,
+                          const FrequencyAssignment &freqs,
+                          double target_util, ThreadPool *pool,
+                          BuildStats &stats) const
+{
+    const int nq = topo.numQubits();
+    const int nc = topo.numCouplers();
+    const auto &edges = topo.coupling.edges();
+    const auto grain =
+        static_cast<std::size_t>(std::max(params_.buildSerialBelow, 0));
+
+    // --- Per-coupler segment counts and prefix-summed offsets. ---
+    Timer timer;
+    std::vector<double> length_um(nc);
+    std::vector<int> nseg(nc);
+    parallelFor(
+        pool, static_cast<std::size_t>(nc),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t e = begin; e < end; ++e) {
+                length_um[e] = resonatorLengthUm(freqs.resonatorFreqHz[e]);
+                nseg[e] = segmentCount(length_um[e], params_);
+            }
+        },
+        grain);
+    // seg_offset[e]: first segment-instance ordinal of coupler e;
+    // net_offset[e]: its first net (nseg + 1 nets per coupler). Plain
+    // serial prefix sums -- integer, O(nc), and the determinism anchor
+    // for every fill below.
+    std::vector<int> seg_offset(nc + 1, 0);
+    std::vector<int> net_offset(nc + 1, 0);
+    for (int e = 0; e < nc; ++e) {
+        seg_offset[e + 1] = seg_offset[e] + nseg[e];
+        net_offset[e + 1] = net_offset[e] + nseg[e] + 1;
+    }
+    const int total_segments = seg_offset[nc];
+    stats.segmentsSeconds = timer.seconds();
+
+    // --- Instance / net / resonator fill at precomputed offsets. ---
+    // Every slot is written exactly once from per-item formulas, so
+    // chunk boundaries cannot change a single bit of the result.
+    timer.reset();
+    std::vector<Instance> instances(
+        static_cast<std::size_t>(nq) + total_segments);
+    std::vector<Net> nets(static_cast<std::size_t>(net_offset[nc]));
+    std::vector<Resonator> resonators(static_cast<std::size_t>(nc));
+    parallelFor(
+        pool, static_cast<std::size_t>(nq),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t q = begin; q < end; ++q) {
+                Instance inst;
+                inst.kind = InstanceKind::Qubit;
+                inst.id = static_cast<int>(q);
+                inst.qubit = static_cast<int>(q);
+                inst.freqHz = freqs.qubitFreqHz[q];
+                inst.width = kQubitSizeUm;
+                inst.height = kQubitSizeUm;
+                inst.pad = params_.qubitPadUm;
+                instances[q] = inst;
+            }
+        },
+        grain);
+    parallelFor(
+        pool, static_cast<std::size_t>(nc),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t e = begin; e < end; ++e) {
+                Resonator res;
+                res.id = static_cast<int>(e);
+                res.edge = static_cast<int>(e);
+                res.qubitA = edges[e].first;
+                res.qubitB = edges[e].second;
+                res.freqHz = freqs.resonatorFreqHz[e];
+                res.lengthUm = length_um[e];
+                const int base = nq + seg_offset[e];
+                res.segments.resize(nseg[e]);
+                for (int s = 0; s < nseg[e]; ++s) {
+                    Instance seg;
+                    seg.kind = InstanceKind::ResonatorSegment;
+                    seg.id = base + s;
+                    seg.resonator = static_cast<int>(e);
+                    seg.segment = s;
+                    seg.freqHz = res.freqHz;
+                    seg.width = params_.segmentUm;
+                    seg.height = params_.segmentUm;
+                    seg.pad = params_.resonatorPadUm;
+                    instances[seg.id] = seg;
+                    res.segments[s] = seg.id;
+                }
+                Net *net = nets.data() + net_offset[e];
+                *net++ = Net{res.qubitA, res.segments.front(), 1.0};
+                for (int s = 0; s + 1 < nseg[e]; ++s)
+                    *net++ = Net{res.segments[s], res.segments[s + 1],
+                                 1.0};
+                *net = Net{res.segments.back(), res.qubitB, 1.0};
+                resonators[e] = std::move(res);
+            }
+        },
+        grain);
+    Netlist netlist;
+    netlist.adopt(std::move(instances), std::move(nets),
+                  std::move(resonators), nq);
+    stats.instancesSeconds = timer.seconds();
+
+    timer.reset();
+    netlist.sizeRegion(target_util);
+    stats.finalizeSeconds = timer.seconds();
+
+    // --- Warm-start positions (same formulas as the reference path;
+    // the bbox scan stays serial: min/max over nq points is cheap). ---
+    timer.reset();
+    Rect emb(std::numeric_limits<double>::max(),
+             std::numeric_limits<double>::max(),
+             std::numeric_limits<double>::lowest(),
+             std::numeric_limits<double>::lowest());
+    for (const Vec2 &p : topo.embedding) {
+        emb.lo.x = std::min(emb.lo.x, p.x);
+        emb.lo.y = std::min(emb.lo.y, p.y);
+        emb.hi.x = std::max(emb.hi.x, p.x);
+        emb.hi.y = std::max(emb.hi.y, p.y);
+    }
+    const Rect &region = netlist.region();
+    const double emb_w = std::max(emb.width(), 1e-6);
+    const double emb_h = std::max(emb.height(), 1e-6);
+    const double scale =
+        0.8 * std::min(region.width() / emb_w, region.height() / emb_h);
+    const Vec2 emb_center = emb.center();
+    const Vec2 region_center = region.center();
+
+    std::vector<Instance> &insts = netlist.instances();
+    parallelFor(
+        pool, static_cast<std::size_t>(nq),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t q = begin; q < end; ++q) {
+                insts[q].pos = region_center +
+                               (topo.embedding[q] - emb_center) * scale;
+            }
+        },
+        grain);
+    // Qubit positions are complete before this region starts; each
+    // coupler only reads its two endpoint qubits and writes its own
+    // segment span.
+    parallelFor(
+        pool, static_cast<std::size_t>(nc),
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t e = begin; e < end; ++e) {
+                const Resonator &res = netlist.resonators()[e];
+                const Vec2 a = insts[res.qubitA].pos;
+                const Vec2 b = insts[res.qubitB].pos;
+                const auto count =
+                    static_cast<double>(res.segments.size());
+                for (std::size_t s = 0; s < res.segments.size(); ++s) {
+                    const double t =
+                        (static_cast<double>(s) + 1.0) / (count + 1.0);
+                    insts[res.segments[s]].pos = a + (b - a) * t;
+                }
+            }
+        },
+        grain);
+    stats.warmStartSeconds = timer.seconds();
+
+    timer.reset();
+    netlist.clampIntoRegion();
+    netlist.validate();
+    stats.finalizeSeconds += timer.seconds();
     return netlist;
 }
 

@@ -2,6 +2,13 @@
  * @file
  * Netlist construction: topology + frequency assignment + preprocessing
  * parameters -> placement netlist (Fig. 7 a-b).
+ *
+ * Scaling: the default engine precomputes per-coupler segment counts,
+ * prefix-sums the instance and net offsets, and fills instances, nets,
+ * resonator records, and warm-start positions in parallel on the
+ * flow's worker pool with deterministic chunking -- the netlist is
+ * bitwise-identical to the sequential-append reference path at any
+ * thread count (gated in bench/assign_scale and ctest -L assign).
  */
 
 #ifndef QPLACER_NETLIST_BUILDER_HPP
@@ -13,6 +20,21 @@
 #include "topology/topology.hpp"
 
 namespace qplacer {
+
+class ThreadPool;
+
+/**
+ * Sub-stage wall clocks of one build() call, surfaced through
+ * FlowResult as "build.stages" in qplacer_cli --report json.
+ */
+struct BuildStats
+{
+    double segmentsSeconds = 0.0;  ///< Lengths, counts, prefix sums.
+    double instancesSeconds = 0.0; ///< Instance / net / resonator fill.
+    double warmStartSeconds = 0.0; ///< Embedding scale + positions.
+    double finalizeSeconds = 0.0;  ///< Region sizing, clamp, validate.
+    int threads = 1;               ///< Worker threads the fill could use.
+};
 
 /** Builds the placement netlist for a device. */
 class NetlistBuilder
@@ -29,14 +51,30 @@ class NetlistBuilder
      * The region is sized to @p target_util and instances are initialized
      * on the (scaled) topology embedding: qubits at their embedded spots,
      * segments spread along the straight line between their endpoints.
+     *
+     * @p pool (optional, borrowed) parallelizes the fast engine's fill
+     * loops; null or 1 thread runs serially with identical output.
+     * @p stats (optional) receives the sub-stage wall clocks.
      */
     Netlist build(const Topology &topo,
                   const FrequencyAssignment &freqs,
-                  double target_util = 0.72) const;
+                  double target_util = 0.72, ThreadPool *pool = nullptr,
+                  BuildStats *stats = nullptr) const;
 
     const PartitionParams &params() const { return params_; }
 
   private:
+    /** The original sequential append path (BuildEngine::Reference). */
+    Netlist buildReference(const Topology &topo,
+                           const FrequencyAssignment &freqs,
+                           double target_util, BuildStats &stats) const;
+
+    /** Prefix-summed offsets + pool-parallel fill (BuildEngine::Fast). */
+    Netlist buildFast(const Topology &topo,
+                      const FrequencyAssignment &freqs,
+                      double target_util, ThreadPool *pool,
+                      BuildStats &stats) const;
+
     PartitionParams params_;
 };
 

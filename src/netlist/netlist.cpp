@@ -39,6 +39,39 @@ Netlist::addResonator(Resonator res)
     return resonators_.back().id;
 }
 
+void
+Netlist::adopt(std::vector<Instance> instances, std::vector<Net> nets,
+               std::vector<Resonator> resonators, int num_qubits)
+{
+    if (num_qubits < 0 || num_qubits > static_cast<int>(instances.size()))
+        panic(str("Netlist::adopt: bad qubit count ", num_qubits));
+    const int n = static_cast<int>(instances.size());
+    for (int i = 0; i < n; ++i) {
+        const Instance &inst = instances[i];
+        if (inst.id != i)
+            panic(str("Netlist::adopt: instance ", i, " has id ",
+                      inst.id));
+        if ((inst.kind == InstanceKind::Qubit) != (i < num_qubits))
+            panic("Netlist::adopt: qubit instances must come first");
+    }
+    for (std::size_t r = 0; r < resonators.size(); ++r) {
+        if (resonators[r].id != static_cast<int>(r))
+            panic(str("Netlist::adopt: resonator ", r, " has id ",
+                      resonators[r].id));
+    }
+    for (const Net &net : nets) {
+        if (net.a < 0 || net.a >= n || net.b < 0 || net.b >= n)
+            panic(str("Netlist::adopt: pin out of range (", net.a, ", ",
+                      net.b, ")"));
+        if (net.a == net.b)
+            panic("Netlist::adopt: degenerate net");
+    }
+    instances_ = std::move(instances);
+    nets_ = std::move(nets);
+    resonators_ = std::move(resonators);
+    numQubits_ = num_qubits;
+}
+
 const Instance &
 Netlist::instance(int id) const
 {
@@ -149,6 +182,63 @@ Netlist::validate() const
             }
         }
     }
+}
+
+namespace {
+
+/** memcmp equality on a double (distinguishes -0.0, exact NaN bits). */
+bool
+sameBits(double x, double y)
+{
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+}
+
+} // namespace
+
+bool
+bitwiseSameNetlist(const Netlist &a, const Netlist &b)
+{
+    if (a.numInstances() != b.numInstances() ||
+        a.numQubits() != b.numQubits() ||
+        a.nets().size() != b.nets().size() ||
+        a.resonators().size() != b.resonators().size())
+        return false;
+    if (!sameBits(a.region().lo.x, b.region().lo.x) ||
+        !sameBits(a.region().lo.y, b.region().lo.y) ||
+        !sameBits(a.region().hi.x, b.region().hi.x) ||
+        !sameBits(a.region().hi.y, b.region().hi.y))
+        return false;
+    for (int i = 0; i < a.numInstances(); ++i) {
+        const Instance &ia = a.instances()[i];
+        const Instance &ib = b.instances()[i];
+        if (ia.kind != ib.kind || ia.id != ib.id ||
+            ia.qubit != ib.qubit || ia.resonator != ib.resonator ||
+            ia.segment != ib.segment ||
+            !sameBits(ia.freqHz, ib.freqHz) ||
+            !sameBits(ia.width, ib.width) ||
+            !sameBits(ia.height, ib.height) ||
+            !sameBits(ia.pad, ib.pad) || !sameBits(ia.pos.x, ib.pos.x) ||
+            !sameBits(ia.pos.y, ib.pos.y))
+            return false;
+    }
+    for (std::size_t i = 0; i < a.nets().size(); ++i) {
+        const Net &na = a.nets()[i];
+        const Net &nb = b.nets()[i];
+        if (na.a != nb.a || na.b != nb.b ||
+            !sameBits(na.weight, nb.weight))
+            return false;
+    }
+    for (std::size_t i = 0; i < a.resonators().size(); ++i) {
+        const Resonator &ra = a.resonators()[i];
+        const Resonator &rb = b.resonators()[i];
+        if (ra.id != rb.id || ra.edge != rb.edge ||
+            ra.qubitA != rb.qubitA || ra.qubitB != rb.qubitB ||
+            !sameBits(ra.freqHz, rb.freqHz) ||
+            !sameBits(ra.lengthUm, rb.lengthUm) ||
+            ra.segments != rb.segments)
+            return false;
+    }
+    return true;
 }
 
 bool

@@ -97,6 +97,17 @@ class Netlist
     /** Append a resonator record; returns its id. */
     int addResonator(Resonator res);
 
+    /**
+     * Replace the netlist's contents wholesale with pre-assembled
+     * vectors (the threaded builder's prefix-summed fill). The same
+     * invariants addInstance/addNet enforce incrementally are checked
+     * here: instance ids equal their indices, the @p num_qubits qubit
+     * instances come first, resonator ids equal their indices, and net
+     * pins are in-range and non-degenerate.
+     */
+    void adopt(std::vector<Instance> instances, std::vector<Net> nets,
+               std::vector<Resonator> resonators, int num_qubits);
+
     const std::vector<Instance> &instances() const { return instances_; }
     std::vector<Instance> &instances() { return instances_; }
     const std::vector<Net> &nets() const { return nets_; }
@@ -156,6 +167,14 @@ class Netlist
  * thread count, and PlacementSession's batch-vs-serial gate.
  */
 bool bitwiseSameLayout(const Netlist &a, const Netlist &b);
+
+/**
+ * Bitwise equality of the whole problem instance -- every instance
+ * field (memcmp on the doubles), nets, resonator records, and the
+ * region. The threaded builder's equivalence contract against the
+ * sequential reference builder at any thread count.
+ */
+bool bitwiseSameNetlist(const Netlist &a, const Netlist &b);
 
 } // namespace qplacer
 

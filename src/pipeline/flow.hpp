@@ -83,6 +83,8 @@ struct FlowResult
 {
     Netlist netlist; ///< Placed + legalized layout.
     FrequencyAssignment freqs;
+    AssignStats assignStats; ///< assign sub-stage wall clocks.
+    BuildStats buildStats;   ///< build sub-stage wall clocks (not Human).
     PlaceResult place;    ///< Global-placement stats (not for Human).
     LegalizeResult legal; ///< Legalization stats (not for Human).
     AreaMetrics area;

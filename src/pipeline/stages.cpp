@@ -40,7 +40,8 @@ class AssignStage final : public FlowStage
     void run(FlowContext &ctx) const override
     {
         const FrequencyAssigner assigner(ctx.params.assigner);
-        ctx.result.freqs = assigner.assign(*ctx.topo);
+        ctx.result.freqs =
+            assigner.assign(*ctx.topo, &ctx.result.assignStats);
     }
 };
 
@@ -53,8 +54,10 @@ class BuildStage final : public FlowStage
     void run(FlowContext &ctx) const override
     {
         const NetlistBuilder builder(ctx.params.partition);
-        ctx.result.netlist = builder.build(*ctx.topo, ctx.result.freqs,
-                                           ctx.params.targetUtil);
+        ctx.result.netlist =
+            builder.build(*ctx.topo, ctx.result.freqs,
+                          ctx.params.targetUtil, ctx.pool,
+                          &ctx.result.buildStats);
     }
 };
 

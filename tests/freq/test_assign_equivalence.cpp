@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Equivalence of the fast assign/build engines against the retained
+ * reference implementations: the saturation-heap DSATUR must colour
+ * every graph exactly like the linear-scan reference, full assignments
+ * must match on the paper topologies, the sparse violation counter must
+ * agree with the all-pairs scan, and the prefix-summed parallel builder
+ * must reproduce the sequential netlist bit for bit at any thread
+ * count. ctest -L assign.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "freq/assigner.hpp"
+#include "netlist/builder.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qplacer {
+namespace {
+
+Graph
+randomGraph(int n, double edge_prob, Rng &rng)
+{
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            if (rng.uniform() < edge_prob)
+                g.addEdge(u, v);
+        }
+    }
+    return g;
+}
+
+Graph
+starGraph(int n, Rng &rng)
+{
+    Graph g(n);
+    for (int v = 1; v < n; ++v)
+        g.addEdge(0, v);
+    // A few random chords so saturation ties actually occur.
+    for (int u = 1; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            if (rng.uniform() < 0.05)
+                g.addEdge(u, v);
+        }
+    }
+    return g;
+}
+
+Graph
+pathGraph(int n)
+{
+    Graph g(n);
+    for (int v = 0; v + 1 < n; ++v)
+        g.addEdge(v, v + 1);
+    return g;
+}
+
+void
+expectProperColoring(const Graph &g, const std::vector<int> &color)
+{
+    for (const auto &[u, v] : g.edges()) {
+        EXPECT_GE(color[u], 0);
+        EXPECT_NE(color[u], color[v]) << "edge " << u << "-" << v;
+    }
+}
+
+bool
+sameBits(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() || std::memcmp(a.data(), b.data(),
+                                     a.size() * sizeof(double)) == 0);
+}
+
+void
+expectSameAssignment(const FrequencyAssignment &ref,
+                     const FrequencyAssignment &fast)
+{
+    EXPECT_EQ(ref.qubitColor, fast.qubitColor);
+    EXPECT_EQ(ref.resonatorColor, fast.resonatorColor);
+    EXPECT_TRUE(sameBits(ref.qubitFreqHz, fast.qubitFreqHz));
+    EXPECT_TRUE(sameBits(ref.resonatorFreqHz, fast.resonatorFreqHz));
+    EXPECT_EQ(ref.numQubitSlots, fast.numQubitSlots);
+    EXPECT_EQ(ref.numResonatorSlots, fast.numResonatorSlots);
+}
+
+TEST(DsaturEquivalence, RandomDenseAndSparse)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        for (const double p : {0.5, 0.08}) {
+            Rng rng(seed);
+            const Graph g = randomGraph(60, p, rng);
+            const auto ref = FrequencyAssigner::dsaturReference(g);
+            const auto fast = FrequencyAssigner::dsatur(g);
+            EXPECT_EQ(ref, fast) << "seed " << seed << " p " << p;
+            expectProperColoring(g, fast);
+        }
+    }
+}
+
+TEST(DsaturEquivalence, StarAndPath)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed);
+        const Graph star = starGraph(50, rng);
+        EXPECT_EQ(FrequencyAssigner::dsaturReference(star),
+                  FrequencyAssigner::dsatur(star));
+
+        const Graph path = pathGraph(40 + static_cast<int>(seed));
+        EXPECT_EQ(FrequencyAssigner::dsaturReference(path),
+                  FrequencyAssigner::dsatur(path));
+    }
+}
+
+TEST(DsaturEquivalence, EmptyAndIsolatedNodes)
+{
+    const Graph empty(0);
+    EXPECT_TRUE(FrequencyAssigner::dsatur(empty).empty());
+
+    Graph isolated(5); // no edges: everything gets colour 0
+    const auto colors = FrequencyAssigner::dsatur(isolated);
+    EXPECT_EQ(colors, FrequencyAssigner::dsaturReference(isolated));
+    for (int c : colors)
+        EXPECT_EQ(c, 0);
+}
+
+TEST(AssignEquivalence, PaperTopologies)
+{
+    for (const Topology &topo :
+         {makeGrid(8, 8), makeHeavyHex(3, 5), makeOctagon(4, 4),
+          makeEagle()}) {
+        AssignerParams ref_params;
+        ref_params.engine = AssignEngine::Reference;
+        AssignerParams fast_params;
+        fast_params.engine = AssignEngine::Fast;
+
+        const FrequencyAssigner ref(ref_params);
+        const FrequencyAssigner fast(fast_params);
+        const auto ref_out = ref.assign(topo);
+        const auto fast_out = fast.assign(topo);
+        SCOPED_TRACE(topo.name);
+        expectSameAssignment(ref_out, fast_out);
+        EXPECT_EQ(ref.countDomainViolations(topo, ref_out),
+                  fast.countDomainViolations(topo, fast_out));
+    }
+}
+
+TEST(AssignEquivalence, ViolationCountersAgreeUnderCollisions)
+{
+    // Force resonances by sampling frequencies from a tiny slot pool,
+    // then check the sparse incident-list counter matches the all-pairs
+    // scan exactly.
+    const Topology topo = makeGrid(6, 6);
+    AssignerParams ref_params;
+    ref_params.engine = AssignEngine::Reference;
+    AssignerParams fast_params;
+    fast_params.engine = AssignEngine::Fast;
+    const FrequencyAssigner ref(ref_params);
+    const FrequencyAssigner fast(fast_params);
+
+    FrequencyAssignment assignment = fast.assign(topo);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed);
+        for (double &f : assignment.qubitFreqHz)
+            f = 5.0e9 + 0.05e9 * static_cast<double>(rng.below(3));
+        for (double &f : assignment.resonatorFreqHz)
+            f = 6.5e9 + 0.05e9 * static_cast<double>(rng.below(3));
+        const int ref_count = ref.countDomainViolations(topo, assignment);
+        EXPECT_GT(ref_count, 0);
+        EXPECT_EQ(ref_count, fast.countDomainViolations(topo, assignment));
+    }
+}
+
+TEST(AssignEquivalence, CrowdedHardClassesAliasDeterministically)
+{
+    // A 6-clique needs 6 hard colour classes; a band with room for only
+    // 3 slots forces the aliasing fallback. Classes alias slots
+    // round-robin (c % used), so exactly the 3 coupled pairs whose
+    // classes collide stay resonant -- identically on both engines.
+    Topology topo;
+    topo.name = "K6";
+    topo.coupling = Graph(6);
+    for (int u = 0; u < 6; ++u)
+        for (int v = u + 1; v < 6; ++v)
+            topo.coupling.addEdge(u, v);
+    topo.embedding = {{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}};
+
+    AssignerParams params;
+    params.qubitBand =
+        FrequencyBand(5.0e9, 5.0e9 + 2.0 * params.detuningThresholdHz);
+
+    AssignerParams ref_params = params;
+    ref_params.engine = AssignEngine::Reference;
+    const FrequencyAssigner ref(ref_params);
+    const FrequencyAssigner fast(params);
+
+    const auto ref_out = ref.assign(topo);
+    const auto fast_out = fast.assign(topo);
+    expectSameAssignment(ref_out, fast_out);
+    EXPECT_EQ(fast_out.numQubitSlots, 3);
+
+    // 6 classes on 3 slots: pairs (0,3), (1,4), (2,5) alias.
+    const int violations = fast.countDomainViolations(topo, fast_out);
+    EXPECT_EQ(violations, ref.countDomainViolations(topo, ref_out));
+    EXPECT_EQ(violations, 3);
+}
+
+TEST(BuildEquivalence, BitwiseIdenticalAcrossThreadCounts)
+{
+    for (const Topology &topo : {makeGrid(8, 8), makeOctagon(4, 4)}) {
+        SCOPED_TRACE(topo.name);
+        const FrequencyAssigner assigner;
+        const auto freqs = assigner.assign(topo);
+
+        PartitionParams ref_params;
+        ref_params.buildEngine = BuildEngine::Reference;
+        const Netlist ref =
+            NetlistBuilder(ref_params).build(topo, freqs, 0.72);
+
+        PartitionParams fast_params;
+        fast_params.buildEngine = BuildEngine::Fast;
+        fast_params.buildSerialBelow = 0; // exercise the chunked paths
+        const NetlistBuilder builder(fast_params);
+
+        for (const int threads : {1, 2, 8}) {
+            ThreadPool pool(threads);
+            BuildStats stats;
+            const Netlist fast =
+                builder.build(topo, freqs, 0.72, &pool, &stats);
+            EXPECT_TRUE(bitwiseSameNetlist(ref, fast))
+                << threads << " threads";
+            EXPECT_EQ(stats.threads, threads);
+        }
+    }
+}
+
+} // namespace
+} // namespace qplacer

@@ -89,6 +89,8 @@ Options:
                       placer.freqWeight, placer.freqCutoffFactor,
                       placer.threads,
                       assigner.distance2, assigner.detuningThresholdGHz,
+                      assigner.referenceEngine,
+                      builder.reference, builder.serialBelow,
                       legalizer.cellUm, legalizer.flowRefine,
                       legalizer.flowSparseThreshold,
                       legalizer.flowSparseNeighbors,
@@ -122,6 +124,9 @@ const char *kKnownSetKeys[] = {
     "placer.threads",
     "assigner.distance2",
     "assigner.detuningThresholdGHz",
+    "assigner.referenceEngine",
+    "builder.reference",
+    "builder.serialBelow",
     "legalizer.cellUm",
     "legalizer.flowRefine",
     "legalizer.flowSparseThreshold",
@@ -286,6 +291,20 @@ applyOverrides(const Config &cfg, FlowParams &params)
         cfg.getDouble("assigner.detuningThresholdGHz",
                       ap.detuningThresholdHz / 1e9) *
         1e9;
+    // The reference assigner/builder engines exist for A/B timing (see
+    // bench/assign_scale); outputs are identical either way.
+    ap.engine = cfg.getBool("assigner.referenceEngine",
+                            ap.engine == AssignEngine::Reference)
+                    ? AssignEngine::Reference
+                    : AssignEngine::Fast;
+
+    PartitionParams &bp = params.partition;
+    bp.buildEngine = cfg.getBool("builder.reference",
+                                 bp.buildEngine == BuildEngine::Reference)
+                         ? BuildEngine::Reference
+                         : BuildEngine::Fast;
+    bp.buildSerialBelow = static_cast<int>(
+        cfg.getInt("builder.serialBelow", bp.buildSerialBelow));
 
     LegalizerParams &lp = params.legalizer;
     lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
@@ -541,6 +560,23 @@ printReportJson(std::ostream &os, const Topology &topo,
         os << "],\n";
         os << "      \"cells\": " << r.netlist.numInstances() << ",\n";
         os << "      \"freq_slots\": " << r.freqs.numQubitSlots << ",\n";
+        os << "      \"assign\": {\"stages\": {\"interference\": "
+           << jsonNum(r.assignStats.interferenceSeconds)
+           << ", \"qubit_color\": "
+           << jsonNum(r.assignStats.qubitColorSeconds)
+           << ", \"resonator_graph\": "
+           << jsonNum(r.assignStats.resonatorGraphSeconds)
+           << ", \"resonator_color\": "
+           << jsonNum(r.assignStats.resonatorColorSeconds) << "}},\n";
+        os << "      \"build\": {\"threads\": " << r.buildStats.threads
+           << ", \"stages\": {\"segments\": "
+           << jsonNum(r.buildStats.segmentsSeconds)
+           << ", \"instances\": "
+           << jsonNum(r.buildStats.instancesSeconds)
+           << ", \"warm_start\": "
+           << jsonNum(r.buildStats.warmStartSeconds)
+           << ", \"finalize\": " << jsonNum(r.buildStats.finalizeSeconds)
+           << "}},\n";
         os << "      \"place\": {\"iterations\": " << r.place.iterations
            << ", \"converged\": " << (r.place.converged ? "true" : "false")
            << ", \"cancelled\": " << (r.place.cancelled ? "true" : "false")
