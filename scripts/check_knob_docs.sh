@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Doc lint: the --set knob surface and the service docs must stay in
+# sync with the code.
+#
+#  1. Every key in kKnownSetKeys (src/pipeline/overrides.cpp, the
+#     single source of truth for --set / request "set" keys) must
+#     appear in BUILDING.md's knob table.
+#  2. The service documentation set must exist and be linked from
+#     BUILDING.md.
+#
+# Run from the repository root: scripts/check_knob_docs.sh
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+overrides=src/pipeline/overrides.cpp
+building=BUILDING.md
+
+if [[ ! -f "$overrides" ]]; then
+    echo "FAIL: $overrides not found" >&2
+    exit 1
+fi
+
+# Extract the quoted keys of the kKnownSetKeys initializer.
+keys=$(awk '/kKnownSetKeys\[\] = \{/,/^\};/' "$overrides" |
+    sed -n 's/^[[:space:]]*"\([^"]*\)",*$/\1/p')
+if [[ -z "$keys" ]]; then
+    echo "FAIL: could not extract kKnownSetKeys from $overrides" >&2
+    exit 1
+fi
+
+count=0
+while IFS= read -r key; do
+    count=$((count + 1))
+    if ! grep -q -F "\`$key\`" "$building"; then
+        echo "FAIL: --set key '$key' is not documented in $building" >&2
+        fail=1
+    fi
+done <<<"$keys"
+echo "checked $count --set keys against $building"
+
+# The documentation set itself, each linked from BUILDING.md.
+for doc in docs/ARCHITECTURE.md docs/PROTOCOL.md docs/REPORT_SCHEMA.md; do
+    if [[ ! -f "$doc" ]]; then
+        echo "FAIL: $doc is missing" >&2
+        fail=1
+    elif ! grep -q -F "$doc" "$building"; then
+        echo "FAIL: $doc is not linked from $building" >&2
+        fail=1
+    fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "doc lint failed" >&2
+    exit 1
+fi
+echo "doc lint OK"

@@ -1,6 +1,7 @@
 #include "legal/integration.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "freq/spectrum.hpp"
 #include "legal/spiral.hpp"
@@ -93,12 +94,19 @@ IntegrationLegalizer::resonanceOk(const Netlist &netlist,
 }
 
 IntegrationLegalizer::Result
-IntegrationLegalizer::run(Netlist &netlist, OccupancyGrid &grid) const
+IntegrationLegalizer::run(Netlist &netlist, OccupancyGrid &grid,
+                          const std::vector<int> *only) const
 {
     Result result;
-    const int nr = static_cast<int>(netlist.resonators().size());
+    std::vector<int> targets;
+    if (only) {
+        targets = *only;
+    } else {
+        targets.resize(netlist.resonators().size());
+        std::iota(targets.begin(), targets.end(), 0);
+    }
 
-    for (int r = 0; r < nr; ++r) {
+    for (int r : targets) {
         if (!integrationLegal(netlist, r))
             ++result.initiallyBroken;
     }
@@ -109,7 +117,7 @@ IntegrationLegalizer::run(Netlist &netlist, OccupancyGrid &grid) const
 
     for (int round = 0; round < params_.maxRounds; ++round) {
         bool progress = false;
-        for (int r = 0; r < nr; ++r) {
+        for (int r : targets) {
             auto cls = clusters(netlist, r);
             if (cls.size() <= 1)
                 continue;
@@ -239,13 +247,13 @@ IntegrationLegalizer::run(Netlist &netlist, OccupancyGrid &grid) const
     // Final repair: rip up and contiguously re-place any resonator the
     // local moves/swaps could not fix.
     if (params_.chainReplace) {
-        for (int r = 0; r < nr; ++r) {
+        for (int r : targets) {
             if (!integrationLegal(netlist, r))
                 replaceChain(netlist, grid, r);
         }
     }
 
-    for (int r = 0; r < nr; ++r) {
+    for (int r : targets) {
         if (!integrationLegal(netlist, r))
             ++result.unintegrated;
     }

@@ -104,6 +104,197 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
     return true;
 }
 
+bool
+Legalizer::attemptScoped(Netlist &netlist,
+                         const std::vector<char> &is_movable_in,
+                         LegalizeResult &result,
+                         const CancelToken *cancel) const
+{
+    result = LegalizeResult{};
+    std::vector<char> is_movable = is_movable_in;
+
+    // Fixed instances enter the grid as obstacles at their current --
+    // already legal -- positions. A conflicting fixed footprint is
+    // possible when the delta resized instances under a stale prior;
+    // demote it to movable (whole resonator for segments, so chains
+    // stay whole) and rebuild the occupancy. Conflicts are rare, so
+    // the restart loop almost never iterates.
+    OccupancyGrid grid(netlist.region(), params_.cellUm);
+    for (int restart = 0;; ++restart) {
+        grid = OccupancyGrid(netlist.region(), params_.cellUm);
+        grid.setProbeEngine(params_.probeEngine);
+        int conflict = -1;
+        for (int i = 0; i < netlist.numInstances(); ++i) {
+            if (is_movable[i])
+                continue;
+            const Instance &inst = netlist.instance(i);
+            const Rect rect = Rect::fromCenter(
+                inst.pos, inst.paddedWidth(), inst.paddedHeight());
+            if (!grid.canPlace(rect)) {
+                conflict = i;
+                break;
+            }
+            grid.occupy(rect, i);
+        }
+        if (conflict < 0)
+            break;
+        if (restart >= netlist.numInstances())
+            return false; // every demotion shrinks the fixed set; bail
+        const Instance &inst = netlist.instance(conflict);
+        if (inst.kind == InstanceKind::ResonatorSegment &&
+            inst.resonator >= 0) {
+            for (int seg : netlist.resonator(inst.resonator).segments)
+                is_movable[seg] = 1;
+        } else {
+            is_movable[conflict] = 1;
+        }
+    }
+
+    // --- Stage 1: movable qubits (greedy spiral, central-first). ---
+    Timer stage_timer;
+    const Vec2 center = netlist.region().center();
+    std::vector<int> movable_qubits;
+    for (int q = 0; q < netlist.numQubits(); ++q)
+        if (is_movable[q])
+            movable_qubits.push_back(q);
+
+    std::vector<double> center_dist(netlist.numQubits(), 0.0);
+    for (int q : movable_qubits)
+        center_dist[q] = netlist.instance(q).pos.dist(center);
+    std::vector<int> qubit_order = movable_qubits;
+    std::sort(qubit_order.begin(), qubit_order.end(), [&](int a, int b) {
+        if (center_dist[a] != center_dist[b])
+            return center_dist[a] < center_dist[b];
+        return a < b;
+    });
+
+    std::vector<Vec2> desired;
+    desired.reserve(movable_qubits.size());
+    for (int q : movable_qubits)
+        desired.push_back(netlist.instance(q).pos);
+
+    for (int q : qubit_order) {
+        Instance &inst = netlist.instance(q);
+        const double w = inst.paddedWidth();
+        const double h = inst.paddedHeight();
+        const auto spot = spiralSearch(grid, inst.pos, w, h);
+        if (!spot)
+            return false;
+        inst.pos = *spot;
+        grid.occupy(Rect::fromCenter(*spot, w, h), q);
+    }
+    result.spiralSeconds = stage_timer.seconds();
+
+    // --- Stage 1b: flow refinement over the movable sites only. ---
+    stage_timer.reset();
+    if (params_.flowRefine && movable_qubits.size() > 1) {
+        std::vector<Vec2> sites;
+        sites.reserve(movable_qubits.size());
+        for (int q : movable_qubits)
+            sites.push_back(netlist.instance(q).pos);
+        FlowRefineOptions options;
+        options.sparseThreshold = params_.flowSparseThreshold;
+        options.neighbors = params_.flowSparseNeighbors;
+        const std::vector<int> assign =
+            refineAssignment(desired, sites, options);
+        for (std::size_t i = 0; i < movable_qubits.size(); ++i)
+            netlist.instance(movable_qubits[i]).pos = sites[assign[i]];
+    }
+    for (std::size_t i = 0; i < movable_qubits.size(); ++i) {
+        result.qubitDisplacementUm +=
+            desired[i].dist(netlist.instance(movable_qubits[i]).pos);
+    }
+    result.flowRefineSeconds = stage_timer.seconds();
+
+    // --- Stage 2: movable segments (scoped Tetris). ---
+    if (cancel && cancel->cancelled()) {
+        result.cancelled = true;
+        return true;
+    }
+    stage_timer.reset();
+    std::vector<int> movable_res;
+    for (const Resonator &res : netlist.resonators())
+        if (!res.segments.empty() && is_movable[res.segments.front()])
+            movable_res.push_back(res.id);
+    if (!tetrisLegalizeSegments(netlist, grid, params_.integrationParams,
+                                result.segmentDisplacementUm,
+                                &movable_res)) {
+        return false;
+    }
+    result.tetrisSeconds = stage_timer.seconds();
+
+    // --- Stage 3: integration repair, scoped to the moved chains. ---
+    if (cancel && cancel->cancelled()) {
+        result.cancelled = true;
+        return true;
+    }
+    stage_timer.reset();
+    if (params_.integration && !movable_res.empty()) {
+        IntegrationLegalizer integrator(params_.integrationParams);
+        result.integration = integrator.run(netlist, grid, &movable_res);
+    }
+    result.integrationSeconds = stage_timer.seconds();
+    return true;
+}
+
+LegalizeResult
+Legalizer::legalizeScoped(Netlist &netlist, const std::vector<int> &movable,
+                          const CancelToken *cancel) const
+{
+    // Closure: a resonator with any movable segment moves as a whole,
+    // so the scoped Tetris scan re-drops complete chains.
+    std::vector<char> is_movable(netlist.numInstances(), 0);
+    for (int id : movable)
+        if (id >= 0 && id < netlist.numInstances())
+            is_movable[id] = 1;
+    for (const Resonator &res : netlist.resonators()) {
+        bool any = false;
+        for (int seg : res.segments)
+            any = any || (is_movable[seg] != 0);
+        if (any)
+            for (int seg : res.segments)
+                is_movable[seg] = 1;
+    }
+
+    std::vector<Vec2> snapshot(netlist.numInstances());
+    for (int i = 0; i < netlist.numInstances(); ++i)
+        snapshot[i] = netlist.instance(i).pos;
+    const Rect original_region = netlist.region();
+
+    LegalizeResult result;
+    for (int attempt_idx = 0; attempt_idx < 4; ++attempt_idx) {
+        if (cancel && cancel->cancelled()) {
+            result.cancelled = true;
+            return result;
+        }
+        if (attempt_idx > 0) {
+            const double grow =
+                1.0 + 0.08 * static_cast<double>(attempt_idx);
+            Rect region = original_region;
+            region.hi.x = region.lo.x + original_region.width() * grow;
+            region.hi.y = region.lo.y + original_region.height() * grow;
+            netlist.setRegion(region);
+            // Fixed instances keep their legal sites; only the movable
+            // set restarts from the warm-placement input.
+            for (int i = 0; i < netlist.numInstances(); ++i)
+                if (is_movable[i])
+                    netlist.instance(i).pos = snapshot[i];
+            warn(str("Legalizer: scoped retry with region grown ",
+                     (grow - 1.0) * 100.0, "%"));
+        }
+        if (attemptScoped(netlist, is_movable, result, cancel)) {
+            if (result.cancelled)
+                return result;
+            result.legal = isLegal(netlist);
+            if (!result.legal)
+                warn("Legalizer: scoped layout has residual overlaps");
+            return result;
+        }
+    }
+    fatal("Legalizer: scoped legalization failed even after region "
+          "expansion");
+}
+
 LegalizeResult
 Legalizer::legalize(Netlist &netlist, const CancelToken *cancel) const
 {

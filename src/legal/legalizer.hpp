@@ -87,6 +87,22 @@ class Legalizer
                             const CancelToken *cancel = nullptr) const;
 
     /**
+     * Region-scoped legalization for incremental re-place: only the
+     * instances in @p movable (plus closure) may move; every other
+     * instance is treated as a fixed obstacle at its current -- already
+     * legal -- position. The closure rules keep the invariants of the
+     * full pass: any resonator with a movable segment becomes fully
+     * movable (chains stay contiguous), and a fixed instance whose
+     * footprint conflicts (stale prior site overlapping another fixed
+     * instance) is demoted to movable rather than corrupting the grid.
+     * Retries with region growth like legalize(), restoring only the
+     * movable instances between attempts.
+     */
+    LegalizeResult legalizeScoped(Netlist &netlist,
+                                  const std::vector<int> &movable,
+                                  const CancelToken *cancel = nullptr) const;
+
+    /**
      * Verify no two padded footprints overlap (with small tolerance)
      * and all instances are in-region.
      */
@@ -96,6 +112,11 @@ class Legalizer
     /** One legalization pass; false if the region ran out of room. */
     bool attempt(Netlist &netlist, LegalizeResult &result,
                  const CancelToken *cancel) const;
+
+    /** One scoped pass over @p is_movable (per-instance flags). */
+    bool attemptScoped(Netlist &netlist, const std::vector<char> &is_movable,
+                       LegalizeResult &result,
+                       const CancelToken *cancel) const;
 
     LegalizerParams params_;
 };

@@ -27,13 +27,19 @@ namespace qplacer {
  * bounded search radius (falling back to the plain nearest slot when
  * no clean one exists), so the tau constraint survives legalization.
  *
+ * When @p only_resonators is non-null, just those resonator ids are
+ * processed (scoped re-legalization, Legalizer::legalizeScoped); all
+ * other segments must already occupy @p grid and are treated as fixed
+ * obstacles. The scan order among the subset matches the full scan.
+ *
  * @param displacement_um Out: total displacement over all segments.
  * @return false if some segment found no free slot (caller should
  *         retry with a larger region).
  */
 bool tetrisLegalizeSegments(Netlist &netlist, OccupancyGrid &grid,
                             const IntegrationParams &params,
-                            double &displacement_um);
+                            double &displacement_um,
+                            const std::vector<int> *only_resonators = nullptr);
 
 } // namespace qplacer
 

@@ -17,6 +17,7 @@
 namespace qplacer {
 
 class ThreadPool;
+struct IncrementalState;
 
 /** Shared state of one flow run (one placement job). */
 struct FlowContext
@@ -52,6 +53,13 @@ struct FlowContext
      * still surface through FlowResult::status.
      */
     bool logging = true;
+
+    /**
+     * Incremental re-place state (borrowed; null = cold run). Set by
+     * PlacementSession::runIncremental together with the warm-start
+     * stage sequence (incremental.hpp); the default stages ignore it.
+     */
+    IncrementalState *incremental = nullptr;
 
     /** The result being assembled; stages fill in their slice. */
     FlowResult result;

@@ -86,6 +86,10 @@ FlowParams::normalized(std::string *error) const
           "FlowParams: integration tolerances must be non-negative");
     check(hotspot.adjacencyTolUm >= 0.0,
           "FlowParams: hotspot.adjacencyTolUm must be non-negative");
+    check(incremental.maxIters >= 1,
+          "FlowParams: incremental.maxIters must be at least 1");
+    check(incremental.snapToleranceUm >= 0.0,
+          "FlowParams: incremental.snapToleranceUm must be non-negative");
 
     if (error)
         *error = first_error;

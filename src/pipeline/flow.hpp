@@ -42,6 +42,29 @@ enum class PlacerMode
     Human,   ///< Manual grid-style reference layout.
 };
 
+/**
+ * Knobs of the incremental re-place path (incremental.hpp): warm-start
+ * the global placer from a prior layout and re-legalize only the
+ * dirtied region. Ignored by cold runs.
+ */
+struct IncrementalPlaceParams
+{
+    /**
+     * Nesterov iteration budget for the warm re-solve. A warm start
+     * sits near a legalized optimum already, so this is a fraction of
+     * PlacerParams::maxIters.
+     */
+    int maxIters = 120;
+
+    /**
+     * Clean instances whose warm re-solve drift stays within this
+     * distance (um) snap back to their prior legal sites and are held
+     * fixed during scoped legalization; larger drifts make the
+     * instance movable.
+     */
+    double snapToleranceUm = 50.0;
+};
+
 /** Full-flow configuration. */
 struct FlowParams
 {
@@ -51,6 +74,7 @@ struct FlowParams
     PlacerParams placer;
     LegalizerParams legalizer;
     HotspotParams hotspot;
+    IncrementalPlaceParams incremental;
     double targetUtil = 0.72;
 
     /**
@@ -78,6 +102,17 @@ struct FlowParams
     FlowParams normalized(std::string *error = nullptr) const;
 };
 
+/** Diagnostics of an incremental re-place run (zero on cold runs). */
+struct IncrementalStats
+{
+    bool incremental = false; ///< This run warm-started from a prior.
+    bool reusedPrior = false; ///< Empty delta: prior layout returned as-is.
+    int mappedInstances = 0;  ///< Instances warm-started from the prior.
+    int freshInstances = 0;   ///< Instances with no prior position.
+    int dirtyInstances = 0;   ///< Delta closure re-placed from scratch.
+    int movableInstances = 0; ///< Instances legalization could move.
+};
+
 /** Everything a flow run produces. */
 struct FlowResult
 {
@@ -90,6 +125,7 @@ struct FlowResult
     AreaMetrics area;
     HotspotReport hotspots;
     FlowStatus status;    ///< Structured outcome (Ok / error / cancelled).
+    IncrementalStats incremental; ///< Warm-start diagnostics, if any.
     std::vector<StageTiming> stageTimings; ///< Per-stage wall clocks.
     double seconds = 0.0; ///< End-to-end wall-clock.
 };

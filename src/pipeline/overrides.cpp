@@ -1,0 +1,111 @@
+#include "pipeline/overrides.hpp"
+
+namespace qplacer {
+
+const char *const kKnownSetKeys[] = {
+    "targetUtil",
+    "placer.maxIters",
+    "placer.minIters",
+    "placer.bins",
+    "placer.targetDensity",
+    "placer.stopOverflow",
+    "placer.freqForce",
+    "placer.freqWeight",
+    "placer.freqCutoffFactor",
+    "placer.threads",
+    "assigner.distance2",
+    "assigner.detuningThresholdGHz",
+    "assigner.referenceEngine",
+    "builder.reference",
+    "builder.serialBelow",
+    "legalizer.cellUm",
+    "legalizer.flowRefine",
+    "legalizer.flowSparseThreshold",
+    "legalizer.flowSparseNeighbors",
+    "legalizer.referenceProbes",
+    "legalizer.integration",
+    "hotspot.adjacencyTolUm",
+    "incremental.maxIters",
+    "incremental.snapToleranceUm",
+};
+
+std::size_t
+numKnownSetKeys()
+{
+    return sizeof(kKnownSetKeys) / sizeof(kKnownSetKeys[0]);
+}
+
+bool
+isKnownSetKey(const std::string &key)
+{
+    for (std::size_t i = 0; i < numKnownSetKeys(); ++i)
+        if (key == kKnownSetKeys[i])
+            return true;
+    return false;
+}
+
+void
+applyOverrides(const Config &cfg, FlowParams &params)
+{
+    params.targetUtil = cfg.getDouble("targetUtil", params.targetUtil);
+
+    PlacerParams &pp = params.placer;
+    pp.maxIters = static_cast<int>(cfg.getInt("placer.maxIters", pp.maxIters));
+    pp.minIters = static_cast<int>(cfg.getInt("placer.minIters", pp.minIters));
+    pp.bins = static_cast<int>(cfg.getInt("placer.bins", pp.bins));
+    pp.targetDensity = cfg.getDouble("placer.targetDensity", pp.targetDensity);
+    pp.stopOverflow = cfg.getDouble("placer.stopOverflow", pp.stopOverflow);
+    pp.freqForce = cfg.getBool("placer.freqForce", pp.freqForce);
+    pp.freqWeight = cfg.getDouble("placer.freqWeight", pp.freqWeight);
+    pp.freqCutoffFactor =
+        cfg.getDouble("placer.freqCutoffFactor", pp.freqCutoffFactor);
+    pp.threads = static_cast<int>(cfg.getInt("placer.threads", pp.threads));
+
+    AssignerParams &ap = params.assigner;
+    ap.distance2 = cfg.getBool("assigner.distance2", ap.distance2);
+    ap.detuningThresholdHz =
+        cfg.getDouble("assigner.detuningThresholdGHz",
+                      ap.detuningThresholdHz / 1e9) *
+        1e9;
+    // The reference assigner/builder engines exist for A/B timing (see
+    // bench/assign_scale); outputs are identical either way.
+    ap.engine = cfg.getBool("assigner.referenceEngine",
+                            ap.engine == AssignEngine::Reference)
+                    ? AssignEngine::Reference
+                    : AssignEngine::Fast;
+
+    PartitionParams &bp = params.partition;
+    bp.buildEngine = cfg.getBool("builder.reference",
+                                 bp.buildEngine == BuildEngine::Reference)
+                         ? BuildEngine::Reference
+                         : BuildEngine::Fast;
+    bp.buildSerialBelow = static_cast<int>(
+        cfg.getInt("builder.serialBelow", bp.buildSerialBelow));
+
+    LegalizerParams &lp = params.legalizer;
+    lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
+    lp.flowRefine = cfg.getBool("legalizer.flowRefine", lp.flowRefine);
+    lp.flowSparseThreshold = static_cast<int>(
+        cfg.getInt("legalizer.flowSparseThreshold", lp.flowSparseThreshold));
+    lp.flowSparseNeighbors = static_cast<int>(
+        cfg.getInt("legalizer.flowSparseNeighbors", lp.flowSparseNeighbors));
+    // The reference probe engine exists for A/B timing (see
+    // bench/legalize_scale); layouts are identical either way.
+    lp.probeEngine =
+        cfg.getBool("legalizer.referenceProbes",
+                    lp.probeEngine == ProbeEngine::Reference)
+            ? ProbeEngine::Reference
+            : ProbeEngine::Fast;
+    lp.integration = cfg.getBool("legalizer.integration", lp.integration);
+
+    params.hotspot.adjacencyTolUm =
+        cfg.getDouble("hotspot.adjacencyTolUm", params.hotspot.adjacencyTolUm);
+
+    IncrementalPlaceParams &ip = params.incremental;
+    ip.maxIters =
+        static_cast<int>(cfg.getInt("incremental.maxIters", ip.maxIters));
+    ip.snapToleranceUm =
+        cfg.getDouble("incremental.snapToleranceUm", ip.snapToleranceUm);
+}
+
+} // namespace qplacer

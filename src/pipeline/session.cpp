@@ -60,6 +60,36 @@ PlacementSession::run(const Topology &topo)
 }
 
 FlowResult
+PlacementSession::runIncremental(const Topology &topo,
+                                 const FlowParams &params,
+                                 const PriorLayout &prior,
+                                 const NetlistDelta &delta)
+{
+    FlowContext ctx;
+    ctx.topo = &topo;
+
+    std::string error;
+    ctx.params = params.normalized(&error);
+    if (error.empty() && params.mode == PlacerMode::Human)
+        error = "incremental re-place supports Qplacer/Classic modes only";
+    if (!error.empty()) {
+        ctx.result.status = {FlowCode::InvalidParams, "", error};
+        return std::move(ctx.result);
+    }
+
+    IncrementalState state;
+    state.prior = &prior;
+    state.delta = delta;
+
+    ctx.pool = innerPool(params.placer.threads);
+    ctx.observer = observer_;
+    ctx.cancel = &cancel_;
+    ctx.incremental = &state;
+    runStages(ctx, makeIncrementalStages(ctx.params));
+    return std::move(ctx.result);
+}
+
+FlowResult
 PlacementSession::run(const Topology &topo, const FlowParams &params)
 {
     // Human mode has no parallel stage; don't build (or keep alive) a

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "pipeline/flow.hpp"
+#include "pipeline/incremental.hpp"
 #include "topology/topology.hpp"
 #include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
@@ -94,6 +95,18 @@ class PlacementSession
      */
     std::vector<FlowResult> runBatch(const Topology &topo,
                                      const std::vector<FlowParams> &jobs);
+
+    /**
+     * Incremental re-place (incremental.hpp): place @p topo warm-
+     * started from @p prior, re-placing only the @p delta closure. An
+     * empty delta on an unchanged topology reproduces the prior layout
+     * exactly (bitwiseSameLayout); a small delta re-solves briefly
+     * (params.incremental.maxIters) and re-legalizes just the movers.
+     * Non-throwing like run(); Human mode is rejected via status.
+     */
+    FlowResult runIncremental(const Topology &topo, const FlowParams &params,
+                              const PriorLayout &prior,
+                              const NetlistDelta &delta = {});
 
     /**
      * Observe stage and iteration progress (borrowed; null to detach).

@@ -128,6 +128,15 @@ std::vector<std::unique_ptr<FlowStage>>
 makeDefaultStages(const FlowParams &params);
 
 /**
+ * Individual default stages, for composing custom pipelines (the
+ * incremental re-place sequence in incremental.hpp reuses assign/build
+ * and metrics around its own warm-start stages).
+ */
+std::unique_ptr<FlowStage> makeAssignStage();
+std::unique_ptr<FlowStage> makeBuildStage();
+std::unique_ptr<FlowStage> makeMetricsStage();
+
+/**
  * Drive @p stages over @p ctx in order: per-stage timing, observer
  * events, cancellation polling between stages, and exception ->
  * FlowStatus conversion. On return ctx.result holds everything the

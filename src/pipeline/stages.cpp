@@ -146,6 +146,24 @@ class MetricsStage final : public FlowStage
 
 } // namespace
 
+std::unique_ptr<FlowStage>
+makeAssignStage()
+{
+    return std::make_unique<AssignStage>();
+}
+
+std::unique_ptr<FlowStage>
+makeBuildStage()
+{
+    return std::make_unique<BuildStage>();
+}
+
+std::unique_ptr<FlowStage>
+makeMetricsStage()
+{
+    return std::make_unique<MetricsStage>();
+}
+
 std::vector<std::unique_ptr<FlowStage>>
 makeDefaultStages(const FlowParams &params)
 {

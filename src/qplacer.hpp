@@ -30,7 +30,12 @@
 #include "physics/resonator.hpp"
 #include "physics/transmon.hpp"
 #include "pipeline/flow.hpp"
+#include "pipeline/incremental.hpp"
+#include "pipeline/overrides.hpp"
 #include "pipeline/session.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "topology/factory.hpp"
 #include "topology/generators.hpp"
 

@@ -1,0 +1,572 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+/** Shortest printf literal that parses back to exactly @p v. */
+std::string
+shortestDoubleLiteral(double v)
+{
+    char buf[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+} // namespace
+
+JsonValue
+JsonValue::null()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::boolean(bool v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::number(double v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = v;
+    j.text_ = shortestDoubleLiteral(v);
+    return j;
+}
+
+JsonValue
+JsonValue::number(std::int64_t v)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = static_cast<double>(v);
+    j.text_ = std::to_string(v);
+    return j;
+}
+
+JsonValue
+JsonValue::numberLiteral(std::string literal)
+{
+    JsonValue j;
+    j.kind_ = Kind::Number;
+    j.number_ = std::strtod(literal.c_str(), nullptr);
+    j.text_ = std::move(literal);
+    return j;
+}
+
+JsonValue
+JsonValue::string(std::string v)
+{
+    JsonValue j;
+    j.kind_ = Kind::String;
+    j.text_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        panic("JsonValue::asBool on non-bool");
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue::asDouble on non-number");
+    return number_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue::asInt on non-number");
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text_.c_str(), &end, 10);
+    if (errno != 0 || end == text_.c_str() || *end != '\0')
+        panic(str("JsonValue::asInt on non-integer literal '", text_, "'"));
+    return v;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        panic("JsonValue::asString on non-string");
+    return text_;
+}
+
+const std::string &
+JsonValue::numberText() const
+{
+    if (kind_ != Kind::Number)
+        panic("JsonValue::numberText on non-number");
+    return text_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::items on non-array");
+    return items_;
+}
+
+std::vector<JsonValue> &
+JsonValue::items()
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::items on non-array");
+    return items_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ != Kind::Array)
+        panic("JsonValue::push on non-array");
+    items_.push_back(std::move(v));
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue::members on non-object");
+    return members_;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue::set on non-object");
+    for (Member &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        panic("JsonValue::find on non-object");
+    for (const Member &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+serializeInto(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.asBool() ? "true" : "false"; break;
+    case JsonValue::Kind::Number: out += v.numberText(); break;
+    case JsonValue::Kind::String:
+        out += '"';
+        out += jsonEscape(v.asString());
+        out += '"';
+        break;
+    case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue &item : v.items()) {
+            if (!first)
+                out += ',';
+            first = false;
+            serializeInto(item, out);
+        }
+        out += ']';
+        break;
+    }
+    case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const JsonValue::Member &m : v.members()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += jsonEscape(m.first);
+            out += "\":";
+            serializeInto(m.second, out);
+        }
+        out += '}';
+        break;
+    }
+    }
+}
+
+/** Recursive-descent parser over a byte range with a depth cap. */
+class Parser
+{
+public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out, 0))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON document");
+        return true;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &what)
+    {
+        if (error_ != nullptr)
+            *error_ = str(what, " at byte ", pos_);
+        return false;
+    }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(str("invalid literal, expected '", word, "'"));
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+        case '{': return parseObject(out, depth);
+        case '[': return parseArray(out, depth);
+        case '"': return parseString(out);
+        case 't':
+            out = JsonValue::boolean(true);
+            return literal("true");
+        case 'f':
+            out = JsonValue::boolean(false);
+            return literal("false");
+        case 'n':
+            out = JsonValue::null();
+            return literal("null");
+        default: return parseNumber(out);
+        }
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        const std::size_t intStart = pos_;
+        std::size_t digits = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            ++digits;
+        }
+        if (digits == 0)
+            return fail("invalid number");
+        if (digits > 1 && text_[intStart] == '0')
+            return fail("leading zeros are not allowed");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            digits = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("digits required after decimal point");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            digits = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("digits required in exponent");
+        }
+        out = JsonValue::numberLiteral(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    void appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parseString(JsonValue &out)
+    {
+        ++pos_; // opening quote
+        std::string value;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                out = JsonValue::string(std::move(value));
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                value += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("truncated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': value += '"'; break;
+            case '\\': value += '\\'; break;
+            case '/': value += '/'; break;
+            case 'b': value += '\b'; break;
+            case 'f': value += '\f'; break;
+            case 'n': value += '\n'; break;
+            case 'r': value += '\r'; break;
+            case 't': value += '\t'; break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: require the low half.
+                    if (text_.compare(pos_, 2, "\\u") != 0)
+                        return fail("lone high surrogate");
+                    pos_ += 2;
+                    unsigned low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xDC00 || low > 0xDFFF)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(value, cp);
+                break;
+            }
+            default: return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out = JsonValue::array();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            skipSpace();
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.push(std::move(item));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out = JsonValue::object();
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected string key in object");
+            JsonValue key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':' after object key");
+            JsonValue value;
+            skipSpace();
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(key.asString(), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+JsonValue::serialize() const
+{
+    std::string out;
+    serializeInto(*this, out);
+    return out;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    Parser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace qplacer

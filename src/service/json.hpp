@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON value, parser, and writer for the server wire
+ * protocol (docs/PROTOCOL.md). Self-contained on purpose: the
+ * container ships no JSON dependency, and the subset here (UTF-8
+ * strings with \uXXXX escapes, IEEE doubles that round-trip through
+ * the original literal, order-preserving objects) is exactly what
+ * newline-delimited protocol framing needs.
+ *
+ * Numbers keep their source literal alongside the parsed double so a
+ * value can be re-emitted byte-for-byte (seeds near 2^63, %.17g
+ * layout coordinates) instead of through a lossy double round-trip.
+ */
+
+#ifndef QPLACER_SERVICE_JSON_HPP
+#define QPLACER_SERVICE_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qplacer {
+
+/** One parsed JSON value; a tree of these represents a document. */
+class JsonValue
+{
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Key/value member of an object, in source order. */
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    static JsonValue null();
+    static JsonValue boolean(bool v);
+    static JsonValue number(double v);
+    /** Integer helper: emits a plain integer literal, no exponent. */
+    static JsonValue number(std::int64_t v);
+    /** Number from a preformatted literal (kept verbatim on output). */
+    static JsonValue numberLiteral(std::string literal);
+    static JsonValue string(std::string v);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; panic (logic_error) on kind mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Integer view of a Number; panics if not integral / in range. */
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    /** Source literal of a Number (e.g. "1e-3", "42"). */
+    const std::string &numberText() const;
+
+    /** Array items (panics unless array). */
+    const std::vector<JsonValue> &items() const;
+    std::vector<JsonValue> &items();
+    void push(JsonValue v);
+
+    /** Object members in insertion order (panics unless object). */
+    const std::vector<Member> &members() const;
+    /** Adds or replaces a member (panics unless object). */
+    void set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent (panics unless object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Compact single-line serialization (no trailing newline). */
+    std::string serialize() const;
+
+private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string text_; ///< String payload, or number literal.
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+/**
+ * Parses one JSON document from @p text (surrounding whitespace
+ * allowed, trailing garbage rejected). On failure returns false and
+ * describes the problem in @p error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** Escapes @p text as the inside of a JSON string (no quotes). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace qplacer
+
+#endif

@@ -1,0 +1,429 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "pipeline/overrides.hpp"
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+bool
+failParse(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/** Non-negative integer from a Number literal (uint64 seeds). */
+bool
+parseSeed(const JsonValue &v, std::uint64_t &out)
+{
+    if (!v.isNumber())
+        return false;
+    const std::string &text = v.numberText();
+    if (text.empty() || text[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(text.c_str(), &end, 10);
+    return errno == 0 && end != text.c_str() && *end == '\0';
+}
+
+bool
+parseSubmit(const JsonValue &doc, Request &out, std::string *error)
+{
+    SubmitRequest &req = out.submit;
+    req.id = out.id;
+
+    const JsonValue *topology = doc.find("topology");
+    if (!topology || !topology->isString() || topology->asString().empty())
+        return failParse(error, "submit requires a string 'topology'");
+    req.topology = topology->asString();
+
+    if (const JsonValue *mode = doc.find("mode")) {
+        if (!mode->isString())
+            return failParse(error, "'mode' must be a string");
+        const std::string &name = mode->asString();
+        if (name == "qplacer")
+            req.mode = PlacerMode::Qplacer;
+        else if (name == "classic")
+            req.mode = PlacerMode::Classic;
+        else if (name == "human")
+            req.mode = PlacerMode::Human;
+        else
+            return failParse(error, str("unknown mode '", name,
+                                        "' (expected qplacer|classic|"
+                                        "human)"));
+    }
+
+    if (const JsonValue *seed = doc.find("seed")) {
+        if (!parseSeed(*seed, req.seed))
+            return failParse(error,
+                             "'seed' must be a non-negative integer");
+    }
+
+    if (const JsonValue *segment = doc.find("segment")) {
+        if (!segment->isNumber() || !(segment->asDouble() > 0.0))
+            return failParse(error, "'segment' must be a positive number");
+        req.segmentUm = segment->asDouble();
+    }
+
+    if (const JsonValue *set = doc.find("set")) {
+        if (!set->isObject())
+            return failParse(error, "'set' must be an object");
+        for (const JsonValue::Member &m : set->members()) {
+            if (!isKnownSetKey(m.first))
+                return failParse(error, str("unknown set key '", m.first,
+                                            "' (see docs/PROTOCOL.md)"));
+            // Config re-parses from text, so every scalar flattens to
+            // its literal; getBool accepts 0/1/true/false.
+            switch (m.second.kind()) {
+            case JsonValue::Kind::String:
+                req.set.set(m.first, m.second.asString());
+                break;
+            case JsonValue::Kind::Number:
+                req.set.set(m.first, m.second.numberText());
+                break;
+            case JsonValue::Kind::Bool:
+                req.set.set(m.first, m.second.asBool() ? "1" : "0");
+                break;
+            default:
+                return failParse(error, str("set key '", m.first,
+                                            "' must be a scalar"));
+            }
+        }
+    }
+
+    if (const JsonValue *progress = doc.find("progress")) {
+        if (!progress->isNumber())
+            return failParse(error,
+                             "'progress' must be a non-negative integer");
+        const double v = progress->asDouble();
+        if (v < 0.0 || v != static_cast<double>(static_cast<int>(v)))
+            return failParse(error,
+                             "'progress' must be a non-negative integer");
+        req.progressEvery = static_cast<int>(v);
+    }
+
+    if (const JsonValue *layout = doc.find("layout")) {
+        if (!layout->isBool())
+            return failParse(error, "'layout' must be a boolean");
+        req.wantLayout = layout->asBool();
+    }
+
+    if (const JsonValue *base = doc.find("base")) {
+        if (!base->isString() || base->asString().empty())
+            return failParse(error,
+                             "'base' must be a non-empty job id string");
+        req.baseId = base->asString();
+        if (req.mode == PlacerMode::Human)
+            return failParse(
+                error, "incremental re-place requires qplacer|classic mode");
+    }
+
+    if (const JsonValue *dirty = doc.find("dirty_qubits")) {
+        if (req.baseId.empty())
+            return failParse(error,
+                             "'dirty_qubits' requires a 'base' job id");
+        if (!dirty->isArray())
+            return failParse(error,
+                             "'dirty_qubits' must be an array of qubit ids");
+        for (const JsonValue &item : dirty->items()) {
+            if (!item.isNumber())
+                return failParse(
+                    error, "'dirty_qubits' must be an array of qubit ids");
+            const double v = item.asDouble();
+            if (v < 0.0 || v != static_cast<double>(static_cast<int>(v)))
+                return failParse(
+                    error, "'dirty_qubits' entries must be non-negative "
+                           "integers");
+            req.dirtyQubits.push_back(static_cast<int>(v));
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseRequest(const std::string &line, Request &out, std::string *error)
+{
+    out = Request{};
+
+    JsonValue doc;
+    std::string parse_error;
+    if (!parseJson(line, doc, &parse_error))
+        return failParse(error, str("invalid JSON: ", parse_error));
+    if (!doc.isObject())
+        return failParse(error, "request must be a JSON object");
+
+    // The id is extracted before type validation so even a bogus
+    // request can be answered with the job it named.
+    if (const JsonValue *id = doc.find("id")) {
+        if (id->isString())
+            out.id = id->asString();
+    }
+
+    const JsonValue *type = doc.find("type");
+    if (!type || !type->isString())
+        return failParse(error, "request requires a string 'type'");
+    const std::string &name = type->asString();
+
+    if (name == "ping") {
+        out.type = Request::Type::Ping;
+        return true;
+    }
+    if (name == "shutdown") {
+        out.type = Request::Type::Shutdown;
+        return true;
+    }
+    if (name == "cancel") {
+        out.type = Request::Type::Cancel;
+        if (out.id.empty())
+            return failParse(error, "cancel requires a string 'id'");
+        return true;
+    }
+    if (name == "submit") {
+        out.type = Request::Type::Submit;
+        if (out.id.empty())
+            return failParse(error, "submit requires a string 'id'");
+        return parseSubmit(doc, out, error);
+    }
+    return failParse(error, str("unknown request type '", name,
+                                "' (expected submit|cancel|ping|"
+                                "shutdown)"));
+}
+
+JsonValue
+makeHello(int workers)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("hello"));
+    v.set("schema", JsonValue::string(kServeSchema));
+    v.set("workers", JsonValue::number(static_cast<std::int64_t>(workers)));
+    return v;
+}
+
+JsonValue
+makeAck(const std::string &id)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("ack"));
+    v.set("id", JsonValue::string(id));
+    return v;
+}
+
+JsonValue
+makeError(const std::string &id, const std::string &message)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("error"));
+    if (!id.empty())
+        v.set("id", JsonValue::string(id));
+    v.set("message", JsonValue::string(message));
+    return v;
+}
+
+JsonValue
+makePong()
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("pong"));
+    return v;
+}
+
+JsonValue
+makeBye(int jobs)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("bye"));
+    v.set("jobs", JsonValue::number(static_cast<std::int64_t>(jobs)));
+    return v;
+}
+
+JsonValue
+makeStageBegin(const std::string &id, const std::string &stage)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("progress"));
+    v.set("id", JsonValue::string(id));
+    v.set("event", JsonValue::string("stage_begin"));
+    v.set("stage", JsonValue::string(stage));
+    return v;
+}
+
+JsonValue
+makeStageEnd(const std::string &id, const std::string &stage,
+             double seconds)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("progress"));
+    v.set("id", JsonValue::string(id));
+    v.set("event", JsonValue::string("stage_end"));
+    v.set("stage", JsonValue::string(stage));
+    v.set("seconds", JsonValue::number(seconds));
+    return v;
+}
+
+JsonValue
+makeIteration(const std::string &id, int iteration, double overflow)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("progress"));
+    v.set("id", JsonValue::string(id));
+    v.set("event", JsonValue::string("iteration"));
+    v.set("iteration",
+          JsonValue::number(static_cast<std::int64_t>(iteration)));
+    v.set("overflow", JsonValue::number(overflow));
+    return v;
+}
+
+JsonValue
+makeResult(const std::string &id, JsonValue report)
+{
+    JsonValue v = JsonValue::object();
+    v.set("type", JsonValue::string("result"));
+    v.set("id", JsonValue::string(id));
+    v.set("report", std::move(report));
+    return v;
+}
+
+JsonValue
+jobReportJson(const FlowResult &r, std::uint64_t seed)
+{
+    JsonValue job = JsonValue::object();
+    job.set("seed", JsonValue::numberLiteral(std::to_string(seed)));
+
+    JsonValue status = JsonValue::object();
+    status.set("code", JsonValue::string(flowCodeName(r.status.code)));
+    status.set("stage", JsonValue::string(r.status.stage));
+    status.set("message", JsonValue::string(r.status.message));
+    job.set("status", std::move(status));
+
+    JsonValue stages = JsonValue::array();
+    for (const StageTiming &timing : r.stageTimings) {
+        JsonValue s = JsonValue::object();
+        s.set("stage", JsonValue::string(timing.stage));
+        s.set("seconds", JsonValue::number(timing.seconds));
+        stages.push(std::move(s));
+    }
+    job.set("stages", std::move(stages));
+
+    job.set("cells", JsonValue::number(
+                         static_cast<std::int64_t>(r.netlist.numInstances())));
+    job.set("freq_slots", JsonValue::number(static_cast<std::int64_t>(
+                              r.freqs.numQubitSlots)));
+
+    JsonValue assign_stages = JsonValue::object();
+    assign_stages.set("interference",
+                      JsonValue::number(r.assignStats.interferenceSeconds));
+    assign_stages.set("qubit_color",
+                      JsonValue::number(r.assignStats.qubitColorSeconds));
+    assign_stages.set("resonator_graph",
+                      JsonValue::number(r.assignStats.resonatorGraphSeconds));
+    assign_stages.set("resonator_color",
+                      JsonValue::number(r.assignStats.resonatorColorSeconds));
+    JsonValue assign = JsonValue::object();
+    assign.set("stages", std::move(assign_stages));
+    job.set("assign", std::move(assign));
+
+    JsonValue build_stages = JsonValue::object();
+    build_stages.set("segments",
+                     JsonValue::number(r.buildStats.segmentsSeconds));
+    build_stages.set("instances",
+                     JsonValue::number(r.buildStats.instancesSeconds));
+    build_stages.set("warm_start",
+                     JsonValue::number(r.buildStats.warmStartSeconds));
+    build_stages.set("finalize",
+                     JsonValue::number(r.buildStats.finalizeSeconds));
+    JsonValue build = JsonValue::object();
+    build.set("threads", JsonValue::number(static_cast<std::int64_t>(
+                             r.buildStats.threads)));
+    build.set("stages", std::move(build_stages));
+    job.set("build", std::move(build));
+
+    JsonValue place = JsonValue::object();
+    place.set("iterations", JsonValue::number(static_cast<std::int64_t>(
+                                r.place.iterations)));
+    place.set("converged", JsonValue::boolean(r.place.converged));
+    place.set("cancelled", JsonValue::boolean(r.place.cancelled));
+    place.set("overflow", JsonValue::number(r.place.finalOverflow));
+    place.set("hpwl_um", JsonValue::number(r.place.finalHpwl));
+    job.set("place", std::move(place));
+
+    JsonValue legal_stages = JsonValue::object();
+    legal_stages.set("spiral", JsonValue::number(r.legal.spiralSeconds));
+    legal_stages.set("flow_refine",
+                     JsonValue::number(r.legal.flowRefineSeconds));
+    legal_stages.set("tetris", JsonValue::number(r.legal.tetrisSeconds));
+    legal_stages.set("integration",
+                     JsonValue::number(r.legal.integrationSeconds));
+    JsonValue legal = JsonValue::object();
+    legal.set("legal", JsonValue::boolean(r.legal.legal));
+    legal.set("qubit_disp_um",
+              JsonValue::number(r.legal.qubitDisplacementUm));
+    legal.set("segment_disp_um",
+              JsonValue::number(r.legal.segmentDisplacementUm));
+    legal.set("unintegrated", JsonValue::number(static_cast<std::int64_t>(
+                                  r.legal.integration.unintegrated)));
+    legal.set("stages", std::move(legal_stages));
+    job.set("legal", std::move(legal));
+
+    JsonValue area = JsonValue::object();
+    area.set("amer_um2", JsonValue::number(r.area.amerUm2));
+    area.set("apoly_um2", JsonValue::number(r.area.apolyUm2));
+    area.set("utilization", JsonValue::number(r.area.utilization));
+    job.set("area", std::move(area));
+
+    JsonValue hotspots = JsonValue::object();
+    hotspots.set("ph_percent", JsonValue::number(r.hotspots.phPercent));
+    hotspots.set("pairs", JsonValue::number(static_cast<std::int64_t>(
+                              r.hotspots.pairs.size())));
+    hotspots.set("impacted_qubits",
+                 JsonValue::number(static_cast<std::int64_t>(
+                     r.hotspots.impactedQubits.size())));
+    job.set("hotspots", std::move(hotspots));
+
+    // The CLI's fidelity proxy needs circuit evaluation the service
+    // does not run; null keeps the job shape compatible.
+    job.set("fidelity", JsonValue::null());
+
+    if (r.incremental.incremental) {
+        JsonValue inc = JsonValue::object();
+        inc.set("reused_prior", JsonValue::boolean(r.incremental.reusedPrior));
+        inc.set("mapped", JsonValue::number(static_cast<std::int64_t>(
+                              r.incremental.mappedInstances)));
+        inc.set("fresh", JsonValue::number(static_cast<std::int64_t>(
+                             r.incremental.freshInstances)));
+        inc.set("dirty", JsonValue::number(static_cast<std::int64_t>(
+                             r.incremental.dirtyInstances)));
+        inc.set("movable", JsonValue::number(static_cast<std::int64_t>(
+                               r.incremental.movableInstances)));
+        job.set("incremental", std::move(inc));
+    }
+
+    job.set("seconds", JsonValue::number(r.seconds));
+    return job;
+}
+
+JsonValue
+layoutJson(const Netlist &netlist)
+{
+    JsonValue out = JsonValue::array();
+    for (const Instance &inst : netlist.instances()) {
+        JsonValue row = JsonValue::array();
+        row.push(JsonValue::number(static_cast<std::int64_t>(inst.id)));
+        row.push(JsonValue::string(
+            inst.kind == InstanceKind::Qubit ? "qubit" : "segment"));
+        row.push(JsonValue::number(inst.pos.x));
+        row.push(JsonValue::number(inst.pos.y));
+        out.push(std::move(row));
+    }
+    return out;
+}
+
+} // namespace qplacer

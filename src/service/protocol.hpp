@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The qplacer.serve/1 wire protocol: newline-delimited JSON requests
+ * (submit / cancel / ping / shutdown) and responses (hello / ack /
+ * progress / result / error / pong / bye). docs/PROTOCOL.md is the
+ * field-by-field reference; this header is its implementation.
+ *
+ * Parsing is strict: unknown request types, missing ids, unknown
+ * "set" keys, and malformed values are errors carried back to the
+ * client -- a daemon fed garbage must answer, not die.
+ */
+
+#ifndef QPLACER_SERVICE_PROTOCOL_HPP
+#define QPLACER_SERVICE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/flow.hpp"
+#include "service/json.hpp"
+#include "util/config.hpp"
+
+namespace qplacer {
+
+/** Protocol schema identifier, bumped on breaking changes. */
+inline constexpr const char *kServeSchema = "qplacer.serve/1";
+
+/** One placement job as requested over the wire. */
+struct SubmitRequest
+{
+    std::string id;            ///< Client-chosen job id (echoed back).
+    std::string topology;      ///< Device spec (name or parametric).
+    PlacerMode mode = PlacerMode::Qplacer;
+    std::uint64_t seed = 1;
+    double segmentUm = 300.0;  ///< Resonator segment length.
+    Config set;                ///< --set style knob overrides.
+
+    /**
+     * Progress streaming: -1 = none (default), 0 = stage events only,
+     * N > 0 = stage events plus every Nth placement iteration.
+     */
+    int progressEvery = -1;
+
+    /** Include the placed instance positions in the result. */
+    bool wantLayout = false;
+
+    /** Incremental re-place: warm-start from this prior job's result. */
+    std::string baseId;
+
+    /** Delta for incremental runs: qubits whose neighbourhood changed. */
+    std::vector<int> dirtyQubits;
+
+    bool isIncremental() const { return !baseId.empty(); }
+};
+
+/** Any parsed request. */
+struct Request
+{
+    enum class Type { Submit, Cancel, Ping, Shutdown };
+
+    Type type = Type::Ping;
+    std::string id;       ///< Job id (submit / cancel).
+    SubmitRequest submit; ///< Valid when type == Submit.
+};
+
+/**
+ * Parse one request line. On failure returns false with a message in
+ * @p error; when the line carried a recognizable job id it is left in
+ * @p out.id so the error response can name the job.
+ */
+bool parseRequest(const std::string &line, Request &out, std::string *error);
+
+/** {"type":"hello",...} greeting emitted once per connection. */
+JsonValue makeHello(int workers);
+
+/** {"type":"ack"} -- request accepted and queued. */
+JsonValue makeAck(const std::string &id);
+
+/** {"type":"error"} -- request rejected or job failed to start. */
+JsonValue makeError(const std::string &id, const std::string &message);
+
+/** {"type":"pong"} -- liveness answer. */
+JsonValue makePong();
+
+/** {"type":"bye"} -- shutdown complete after draining @p jobs jobs. */
+JsonValue makeBye(int jobs);
+
+/** {"type":"progress","event":"stage_begin"} */
+JsonValue makeStageBegin(const std::string &id, const std::string &stage);
+
+/** {"type":"progress","event":"stage_end"} */
+JsonValue makeStageEnd(const std::string &id, const std::string &stage,
+                       double seconds);
+
+/** {"type":"progress","event":"iteration"} */
+JsonValue makeIteration(const std::string &id, int iteration,
+                        double overflow);
+
+/**
+ * {"type":"result"}: the job outcome. @p report is the
+ * qplacer.flow_report/1-shaped job object (jobReportJson); a layout
+ * array is attached when the request asked for one.
+ */
+JsonValue makeResult(const std::string &id, JsonValue report);
+
+/**
+ * One job object in the qplacer.flow_report/1 shape the CLI's
+ * --report json emits (docs/REPORT_SCHEMA.md), plus the additive
+ * "incremental" member for warm-started runs. The CLI-only fidelity
+ * proxy is reported as null.
+ */
+JsonValue jobReportJson(const FlowResult &result, std::uint64_t seed);
+
+/**
+ * Placed instance positions as [[id, kind, x, y], ...]. Coordinates
+ * serialize with exact round-trip literals, so a client can compare
+ * layouts bitwise across runs.
+ */
+JsonValue layoutJson(const Netlist &netlist);
+
+} // namespace qplacer
+
+#endif

@@ -1,0 +1,352 @@
+/** @file PlacementServer implementation; contract in server.hpp. */
+
+#include "service/server.hpp"
+
+#include <utility>
+
+#include "pipeline/overrides.hpp"
+#include "topology/factory.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qplacer {
+namespace {
+
+/**
+ * Streams FlowObserver events for one job as progress responses.
+ * progressEvery: -1 = silent, 0 = stage events, N > 0 = stage events
+ * plus every Nth placement iteration (see SubmitRequest).
+ */
+class StreamObserver : public FlowObserver
+{
+  public:
+    StreamObserver(std::string id, int progress_every,
+                   std::function<void(const JsonValue &)> emit)
+        : id_(std::move(id)), progressEvery_(progress_every),
+          emit_(std::move(emit))
+    {
+    }
+
+    void
+    onStageBegin(const FlowContext &, const std::string &stage) override
+    {
+        if (progressEvery_ >= 0)
+            emit_(makeStageBegin(id_, stage));
+    }
+
+    void
+    onStageEnd(const FlowContext &, const StageTiming &timing) override
+    {
+        if (progressEvery_ >= 0)
+            emit_(makeStageEnd(id_, timing.stage, timing.seconds));
+    }
+
+    void
+    onIteration(const FlowContext &, const PlaceProgress &progress) override
+    {
+        if (progressEvery_ > 0 && progress.iteration % progressEvery_ == 0)
+            emit_(makeIteration(id_, progress.iteration, progress.overflow));
+    }
+
+  private:
+    std::string id_;
+    int progressEvery_;
+    std::function<void(const JsonValue &)> emit_;
+};
+
+} // namespace
+
+PlacementServer::PlacementServer(ServerOptions options)
+    : options_(std::move(options))
+{
+    const int n = ThreadPool::resolveThreadCount(options_.workers);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto worker = std::make_unique<Worker>();
+        SessionParams sp;
+        sp.flow = options_.defaults;
+        sp.workers = 1; // Concurrency lives at the server's job level.
+        worker->session = std::make_unique<PlacementSession>(sp);
+        workers_.push_back(std::move(worker));
+    }
+    for (int i = 0; i < n; ++i)
+        workers_[static_cast<std::size_t>(i)]->thread =
+            std::thread([this, i] { workerLoop(i); });
+}
+
+PlacementServer::~PlacementServer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        if (worker->thread.joinable())
+            worker->thread.join();
+}
+
+bool
+PlacementServer::handleLine(const std::string &line,
+                            const ResponseSink &sink)
+{
+    Request req;
+    std::string error;
+    if (!parseRequest(line, req, &error)) {
+        emit(sink, makeError(req.id, error));
+        return true;
+    }
+
+    switch (req.type) {
+    case Request::Type::Ping:
+        emit(sink, makePong());
+        return true;
+
+    case Request::Type::Cancel:
+        if (cancel(req.id))
+            emit(sink, makeAck(req.id));
+        else
+            emit(sink, makeError(req.id, "no queued or running job '" +
+                                             req.id + "'"));
+        return true;
+
+    case Request::Type::Shutdown:
+        drain();
+        emit(sink, makeBye(jobsCompleted()));
+        return false;
+
+    case Request::Type::Submit:
+        break;
+    }
+
+    // Reject specs that can never run before acking the job; the
+    // base id is checked at run time instead (a queued base job may
+    // finish before this one starts).
+    {
+        const Topology *topo = nullptr;
+        if (!topologyFor(req.submit.topology, topo, error)) {
+            emit(sink, makeError(req.id, error));
+            return true;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        bool taken = false;
+        for (const Job &job : queue_)
+            taken = taken || job.request.id == req.id;
+        for (const auto &worker : workers_)
+            taken = taken || worker->runningId == req.id;
+        if (taken) {
+            emit(sink, makeError(req.id, "job id '" + req.id +
+                                             "' is already queued or "
+                                             "running"));
+            return true;
+        }
+    }
+    emit(sink, makeAck(req.id));
+    submit(req.submit, sink);
+    return true;
+}
+
+void
+PlacementServer::submit(const SubmitRequest &request, ResponseSink sink)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(Job{request, std::move(sink)});
+    }
+    workAvailable_.notify_one();
+}
+
+bool
+PlacementServer::cancel(const std::string &id)
+{
+    Job cancelled;
+    bool queued = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->request.id == id) {
+                cancelled = std::move(*it);
+                queue_.erase(it);
+                queued = true;
+                break;
+            }
+        }
+        if (!queued) {
+            for (auto &worker : workers_) {
+                if (worker->runningId == id) {
+                    worker->session->cancelToken().cancel();
+                    return true;
+                }
+            }
+            return false;
+        }
+        ++completed_;
+    }
+    workDone_.notify_all();
+
+    // Synthesize a cancelled result so the client still gets a
+    // terminal response for the job.
+    FlowResult result;
+    result.status.code = FlowCode::Cancelled;
+    result.status.message = "cancelled before start";
+    emit(cancelled.sink,
+         makeResult(id, jobReportJson(result, cancelled.request.seed)));
+    return true;
+}
+
+void
+PlacementServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    workDone_.wait(lock, [this] {
+        if (!queue_.empty())
+            return false;
+        for (const auto &worker : workers_)
+            if (!worker->runningId.empty())
+                return false;
+        return true;
+    });
+}
+
+int
+PlacementServer::jobsCompleted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+}
+
+void
+PlacementServer::workerLoop(int worker_index)
+{
+    Worker &self = *workers_[static_cast<std::size_t>(worker_index)];
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workAvailable_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to drain.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            self.runningId = job.request.id;
+        }
+        runJob(worker_index, job);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            self.runningId.clear();
+            ++completed_;
+        }
+        workDone_.notify_all();
+    }
+}
+
+void
+PlacementServer::runJob(int worker_index, Job &job)
+{
+    Worker &self = *workers_[static_cast<std::size_t>(worker_index)];
+    PlacementSession &session = *self.session;
+    const SubmitRequest &req = job.request;
+
+    const Topology *topo = nullptr;
+    std::string error;
+    if (!topologyFor(req.topology, topo, error)) {
+        emit(job.sink, makeError(req.id, error));
+        return;
+    }
+
+    FlowParams params = options_.defaults;
+    params.mode = req.mode;
+    params.placer.seed = req.seed;
+    params.partition.segmentUm = req.segmentUm;
+    applyOverrides(req.set, params);
+    // The bitwise contract: with concurrent workers every job places
+    // single-threaded, exactly like PlacementSession::runBatch.
+    if (workers() > 1)
+        params.placer.threads = 1;
+
+    std::shared_ptr<const PriorLayout> prior;
+    if (req.isIncremental()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = priors_.find(req.baseId);
+        if (it != priors_.end())
+            prior = it->second;
+    }
+    if (req.isIncremental() && !prior) {
+        emit(job.sink, makeError(req.id, "unknown base job '" + req.baseId +
+                                             "' (evicted or never run)"));
+        return;
+    }
+
+    if (options_.logging)
+        inform("server: job '" + req.id + "' starting on worker " +
+               std::to_string(worker_index));
+
+    StreamObserver observer(
+        req.id, req.progressEvery,
+        [this, &job](const JsonValue &v) { emit(job.sink, v); });
+    session.cancelToken().reset();
+    session.setObserver(&observer);
+    FlowResult result;
+    if (prior) {
+        NetlistDelta delta;
+        delta.dirtyQubits = req.dirtyQubits;
+        result = session.runIncremental(*topo, params, *prior, delta);
+    } else {
+        result = session.run(*topo, params);
+    }
+    session.setObserver(nullptr);
+
+    if (result.status.ok()) {
+        auto captured = std::make_shared<const PriorLayout>(
+            PriorLayout::capture(result.netlist));
+        std::lock_guard<std::mutex> lock(mu_);
+        if (priors_.find(req.id) == priors_.end())
+            priorOrder_.push_back(req.id);
+        priors_[req.id] = std::move(captured);
+        while (static_cast<int>(priorOrder_.size()) >
+               options_.resultCacheCap) {
+            priors_.erase(priorOrder_.front());
+            priorOrder_.pop_front();
+        }
+    }
+
+    JsonValue response = makeResult(req.id, jobReportJson(result, req.seed));
+    if (req.wantLayout && result.status.ok())
+        response.set("layout", layoutJson(result.netlist));
+    emit(job.sink, response);
+
+    if (options_.logging)
+        inform("server: job '" + req.id + "' finished (" +
+               flowCodeName(result.status.code) + ")");
+}
+
+void
+PlacementServer::emit(const ResponseSink &sink, const JsonValue &response)
+{
+    std::lock_guard<std::mutex> lock(emitMu_);
+    sink(response);
+}
+
+bool
+PlacementServer::topologyFor(const std::string &spec, const Topology *&out,
+                             std::string &error)
+{
+    std::lock_guard<std::mutex> lock(topoMu_);
+    auto it = topologies_.find(spec);
+    if (it == topologies_.end()) {
+        Topology topo;
+        if (!resolveTopologySpec(spec, topo, &error))
+            return false;
+        it = topologies_
+                 .emplace(spec,
+                          std::make_unique<Topology>(std::move(topo)))
+                 .first;
+    }
+    out = it->second.get();
+    return true;
+}
+
+} // namespace qplacer

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * PlacementServer: the long-lived placement-as-a-service job host.
+ *
+ * One server owns a pool of worker threads, each wrapping its own warm
+ * PlacementSession (thread pools and spectral-plan caches stay alive
+ * across jobs), a FIFO job queue, a parsed-topology cache, and a
+ * bounded store of finished layouts (PriorLayout) that incremental
+ * requests reference by job id. Transport is someone else's problem:
+ * the server consumes request lines (handleLine) and emits response
+ * JsonValues through a caller-supplied sink, so the same engine serves
+ * stdin/stdout, a Unix socket (tools/qplacer_server.cpp), an
+ * in-process loopback (tests), or a bench driver.
+ *
+ * Determinism contract: with workers > 1 every job is forced to
+ * placer.threads = 1, exactly like PlacementSession::runBatch, so a
+ * stream of concurrent jobs is bitwise-identical to running each
+ * serially. Responses for one job arrive in order (ack -> progress* ->
+ * result); responses of different jobs interleave.
+ */
+
+#ifndef QPLACER_SERVICE_SERVER_HPP
+#define QPLACER_SERVICE_SERVER_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/session.hpp"
+#include "service/protocol.hpp"
+#include "topology/topology.hpp"
+
+namespace qplacer {
+
+/** Emits one response object (serialized by the transport). */
+using ResponseSink = std::function<void(const JsonValue &)>;
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /**
+     * Concurrent job workers. 0 = hardware concurrency (capped like
+     * ThreadPool's auto choice); 1 = strictly ordered execution.
+     */
+    int workers = 1;
+
+    /**
+     * Finished layouts kept for incremental re-place, evicted oldest-
+     * first. Every successful job's layout is captured (two position
+     * maps -- cheap), so any recent job id can serve as a "base".
+     */
+    int resultCacheCap = 64;
+
+    /** Base flow parameters; per-request fields and "set" override. */
+    FlowParams defaults;
+
+    /** Emit inform() lines for job lifecycle events (stderr). */
+    bool logging = false;
+};
+
+/** The job host; see the file header for the contract. */
+class PlacementServer
+{
+  public:
+    explicit PlacementServer(ServerOptions options = {});
+
+    /** Joins the workers (drains the queue first). */
+    ~PlacementServer();
+
+    PlacementServer(const PlacementServer &) = delete;
+    PlacementServer &operator=(const PlacementServer &) = delete;
+
+    /**
+     * Parse and dispatch one request line; every response (including
+     * parse errors) goes through @p sink. Returns false once shutdown
+     * was requested -- the transport should stop reading then.
+     * Response emission is serialized internally, so sinks may write
+     * to a shared stream without their own locking.
+     */
+    bool handleLine(const std::string &line, const ResponseSink &sink);
+
+    /** Queue a parsed job; acks immediately, result arrives via sink. */
+    void submit(const SubmitRequest &request, ResponseSink sink);
+
+    /**
+     * Cancel a queued or running job. Queued jobs report a cancelled
+     * result without running; running jobs stop at their next poll.
+     * False if no such job is queued or running.
+     */
+    bool cancel(const std::string &id);
+
+    /** Block until the queue is empty and all workers are idle. */
+    void drain();
+
+    /** Jobs fully processed so far (including cancelled ones). */
+    int jobsCompleted() const;
+
+    /** Resolved worker count. */
+    int workers() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    struct Job
+    {
+        SubmitRequest request;
+        ResponseSink sink;
+    };
+
+    /** One worker: a warm session plus its currently-running job id. */
+    struct Worker
+    {
+        std::unique_ptr<PlacementSession> session;
+        std::thread thread;
+        std::string runningId; ///< Guarded by mu_.
+    };
+
+    void workerLoop(int worker_index);
+    void runJob(int worker_index, Job &job);
+    void emit(const ResponseSink &sink, const JsonValue &response);
+
+    /** Cached parse of a topology spec; false + error on bad specs. */
+    bool topologyFor(const std::string &spec, const Topology *&out,
+                     std::string &error);
+
+    ServerOptions options_;
+
+    mutable std::mutex mu_; ///< Queue, worker state, priors, counters.
+    std::condition_variable workAvailable_;
+    std::condition_variable workDone_;
+    std::deque<Job> queue_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    bool stopping_ = false;
+    int completed_ = 0;
+
+    /** Finished layouts by job id, insertion-ordered for eviction. */
+    std::map<std::string, std::shared_ptr<const PriorLayout>> priors_;
+    std::deque<std::string> priorOrder_;
+
+    std::mutex topoMu_;
+    std::map<std::string, std::unique_ptr<Topology>> topologies_;
+
+    std::mutex emitMu_; ///< Serializes response emission.
+};
+
+} // namespace qplacer
+
+#endif

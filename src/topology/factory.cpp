@@ -1,9 +1,43 @@
 #include "topology/factory.hpp"
 
+#include <cctype>
+
 #include "topology/generators.hpp"
 #include "util/logging.hpp"
 
 namespace qplacer {
+
+namespace {
+
+std::string
+toLowerCopy(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Parse "3x9" from a spec tail; false on malformed input. */
+bool
+parseSpecDims(const std::string &tail, int &a, int &b)
+{
+    const auto x = tail.find('x');
+    std::size_t consumed_a = 0;
+    std::size_t consumed_b = 0;
+    if (x == std::string::npos || x == 0 || x + 1 >= tail.size())
+        return false;
+    try {
+        a = std::stoi(tail.substr(0, x), &consumed_a);
+        b = std::stoi(tail.substr(x + 1), &consumed_b);
+    } catch (const std::exception &) {
+        return false;
+    }
+    return consumed_a == x && consumed_b == tail.size() - x - 1 && a > 0 &&
+           b > 0;
+}
+
+} // namespace
 
 Topology
 makeTopology(const std::string &name)
@@ -27,6 +61,57 @@ std::vector<std::string>
 paperTopologyNames()
 {
     return {"Grid", "Xtree", "Falcon", "Eagle", "Aspen-11", "Aspen-M"};
+}
+
+bool
+resolveTopologySpec(const std::string &spec, Topology &out,
+                    std::string *error)
+{
+    const std::string lower = toLowerCopy(spec);
+    for (const std::string &name : paperTopologyNames()) {
+        if (lower == toLowerCopy(name)) {
+            out = makeTopology(name);
+            return true;
+        }
+    }
+    if (lower == "grid25") {
+        out = makeTopology("Grid25");
+        return true;
+    }
+
+    int a = 0;
+    int b = 0;
+    const auto dims_of = [&](std::size_t prefix_len) {
+        if (parseSpecDims(lower.substr(prefix_len), a, b))
+            return true;
+        if (error)
+            *error = "bad topology spec '" + spec +
+                     "': expected <rows>x<cols>";
+        return false;
+    };
+    if (lower.rfind("grid", 0) == 0) {
+        if (!dims_of(4))
+            return false;
+        out = makeGrid(a, b);
+        return true;
+    }
+    if (lower.rfind("heavyhex", 0) == 0) {
+        if (!dims_of(8))
+            return false;
+        out = makeHeavyHex(a, b);
+        return true;
+    }
+    if (lower.rfind("octagon", 0) == 0) {
+        if (!dims_of(7))
+            return false;
+        out = makeOctagon(a, b);
+        return true;
+    }
+    if (error)
+        *error = "unknown topology '" + spec +
+                 "' (try a paper device name, gridRxC, heavyhexRxW, or "
+                 "octagonRxC)";
+    return false;
 }
 
 } // namespace qplacer

@@ -22,6 +22,16 @@ Topology makeTopology(const std::string &name);
 /** Names of the six topologies evaluated in the paper, in paper order. */
 std::vector<std::string> paperTopologyNames();
 
+/**
+ * Resolve a user-facing topology spec: a paper device name
+ * (case-insensitive) or a parametric gridRxC / heavyhexRxW /
+ * octagonRxC spec (e.g. "grid8x8"). Shared by the CLI and the server.
+ * Returns false with a message in @p error (if non-null) on unknown
+ * or malformed specs instead of fatal()ing.
+ */
+bool resolveTopologySpec(const std::string &spec, Topology &out,
+                         std::string *error = nullptr);
+
 } // namespace qplacer
 
 #endif // QPLACER_TOPOLOGY_FACTORY_HPP

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * PlacementServer loopback tests: the in-process transport drives the
+ * same handleLine() surface the daemon exposes, checking the service
+ * contract end to end -- concurrent jobs bitwise-identical to serial
+ * QplacerFlow runs, cancellation of queued and running jobs,
+ * incremental re-place against a cached base, and the error paths a
+ * long-lived daemon must answer instead of dying on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/flow.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "topology/generators.hpp"
+
+namespace qplacer {
+namespace {
+
+/** In-process client: sends lines, collects every response. */
+class Loopback
+{
+  public:
+    explicit Loopback(ServerOptions options = {})
+        : server_(std::move(options))
+    {
+    }
+
+    PlacementServer &server() { return server_; }
+
+    /** handleLine() with this client's collecting sink. */
+    bool
+    send(const std::string &line)
+    {
+        return server_.handleLine(line, [this](const JsonValue &response) {
+            std::lock_guard<std::mutex> lock(mu_);
+            responses_.push_back(response);
+        });
+    }
+
+    /** Snapshot of everything received so far. */
+    std::vector<JsonValue>
+    responses() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return responses_;
+    }
+
+    /** The "result" response for @p id; fails the test when absent. */
+    JsonValue
+    resultFor(const std::string &id) const
+    {
+        for (const JsonValue &r : responses()) {
+            const JsonValue *type = r.find("type");
+            const JsonValue *rid = r.find("id");
+            if (type && type->asString() == "result" && rid &&
+                rid->asString() == id)
+                return r;
+        }
+        ADD_FAILURE() << "no result for job '" << id << "'";
+        return JsonValue::null();
+    }
+
+    /** Count of responses with the given type (and id, when set). */
+    int
+    count(const std::string &type, const std::string &id = "") const
+    {
+        int n = 0;
+        for (const JsonValue &r : responses()) {
+            const JsonValue *t = r.find("type");
+            const JsonValue *rid = r.find("id");
+            if (t && t->asString() == type &&
+                (id.empty() || (rid && rid->asString() == id)))
+                ++n;
+        }
+        return n;
+    }
+
+    /** Spin until @p pred on the response snapshot holds (or 30 s). */
+    bool
+    waitFor(const std::function<bool(const std::vector<JsonValue> &)> &pred)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (pred(responses()))
+                return true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return false;
+    }
+
+  private:
+    PlacementServer server_;
+    mutable std::mutex mu_;
+    std::vector<JsonValue> responses_;
+};
+
+std::string
+submitLine(const std::string &id, const std::string &topology,
+           std::uint64_t seed, int max_iters,
+           const std::string &extra = "")
+{
+    return "{\"type\":\"submit\",\"id\":\"" + id + "\",\"topology\":\"" +
+           topology + "\",\"seed\":" + std::to_string(seed) +
+           ",\"set\":{\"placer.maxIters\":" + std::to_string(max_iters) +
+           "},\"layout\":true" + extra + "}";
+}
+
+/** Serial reference for the bitwise contract: one-shot, 1 thread. */
+std::string
+serialLayout(const Topology &topo, std::uint64_t seed, int max_iters)
+{
+    FlowParams params;
+    params.placer.seed = seed;
+    params.placer.maxIters = max_iters;
+    params.placer.threads = 1;
+    return layoutJson(QplacerFlow(params).run(topo).netlist).serialize();
+}
+
+TEST(Server, ConcurrentJobsBitwiseIdenticalToSerial)
+{
+    constexpr int kJobs = 8;
+    constexpr int kIters = 60;
+
+    ServerOptions options;
+    options.workers = kJobs; // All jobs genuinely in flight at once.
+    Loopback client(options);
+    for (int j = 0; j < kJobs; ++j)
+        EXPECT_TRUE(client.send(submitLine(
+            "job" + std::to_string(j), "grid3x3",
+            static_cast<std::uint64_t>(1 + j), kIters)));
+    client.server().drain();
+
+    const Topology topo = makeGrid(3, 3);
+    for (int j = 0; j < kJobs; ++j) {
+        const JsonValue result =
+            client.resultFor("job" + std::to_string(j));
+        const JsonValue *status = result.find("report")->find("status");
+        ASSERT_EQ(status->find("code")->asString(), "ok");
+        // Exact-literal serialization makes string equality bitwise
+        // position equality.
+        ASSERT_NE(result.find("layout"), nullptr);
+        EXPECT_EQ(result.find("layout")->serialize(),
+                  serialLayout(topo, static_cast<std::uint64_t>(1 + j),
+                               kIters))
+            << "job" << j;
+    }
+    EXPECT_EQ(client.server().jobsCompleted(), kJobs);
+}
+
+TEST(Server, SessionsStayWarmAcrossJobs)
+{
+    Loopback client; // One worker, reused for every job.
+    for (int j = 0; j < 3; ++j)
+        EXPECT_TRUE(client.send(
+            submitLine("warm" + std::to_string(j), "grid3x3", 5, 40)));
+    client.server().drain();
+
+    // Same seed through the same warm session: identical layouts.
+    const std::string first =
+        client.resultFor("warm0").find("layout")->serialize();
+    for (int j = 1; j < 3; ++j)
+        EXPECT_EQ(client.resultFor("warm" + std::to_string(j))
+                      .find("layout")
+                      ->serialize(),
+                  first);
+}
+
+TEST(Server, CancelRunningJob)
+{
+    Loopback client;
+    // A job big enough to still be mid-placement when we cancel.
+    EXPECT_TRUE(client.send(submitLine("slow", "grid5x5", 1, 4000,
+                                       ",\"progress\":1")));
+    ASSERT_TRUE(client.waitFor([](const std::vector<JsonValue> &rs) {
+        for (const JsonValue &r : rs) {
+            const JsonValue *e = r.find("event");
+            if (e && e->asString() == "iteration")
+                return true;
+        }
+        return false;
+    }));
+    EXPECT_TRUE(client.server().cancel("slow"));
+    client.server().drain();
+
+    const JsonValue result = client.resultFor("slow");
+    EXPECT_EQ(result.find("report")
+                  ->find("status")
+                  ->find("code")
+                  ->asString(),
+              "cancelled");
+    // A cancelled job produced no layout.
+    EXPECT_EQ(result.find("layout"), nullptr);
+}
+
+TEST(Server, CancelQueuedJobNeverRuns)
+{
+    Loopback client; // One worker: the second job waits in the queue.
+    EXPECT_TRUE(client.send(submitLine("first", "grid4x4", 1, 800)));
+    EXPECT_TRUE(client.send(submitLine("second", "grid4x4", 2, 800)));
+    EXPECT_TRUE(client.server().cancel("second"));
+    client.server().drain();
+
+    EXPECT_EQ(client.resultFor("second")
+                  .find("report")
+                  ->find("status")
+                  ->find("code")
+                  ->asString(),
+              "cancelled");
+    EXPECT_EQ(client.resultFor("first")
+                  .find("report")
+                  ->find("status")
+                  ->find("code")
+                  ->asString(),
+              "ok");
+    EXPECT_FALSE(client.server().cancel("second")); // Already gone.
+}
+
+TEST(Server, IncrementalEmptyDeltaReproducesPrior)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("base", "grid4x4", 3, 200)));
+    client.server().drain();
+    EXPECT_TRUE(client.send(submitLine("redo", "grid4x4", 3, 200,
+                                       ",\"base\":\"base\"")));
+    client.server().drain();
+
+    const JsonValue redo = client.resultFor("redo");
+    const JsonValue *report = redo.find("report");
+    EXPECT_EQ(report->find("status")->find("code")->asString(), "ok");
+    const JsonValue *inc = report->find("incremental");
+    ASSERT_NE(inc, nullptr);
+    EXPECT_TRUE(inc->find("reused_prior")->asBool());
+    // Bitwise-identical to the base layout.
+    EXPECT_EQ(redo.find("layout")->serialize(),
+              client.resultFor("base").find("layout")->serialize());
+}
+
+TEST(Server, IncrementalSmallDeltaRelegalizes)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("base", "grid4x4", 3, 200)));
+    client.server().drain();
+    EXPECT_TRUE(client.send(
+        submitLine("delta", "grid4x4", 3, 200,
+                   ",\"base\":\"base\",\"dirty_qubits\":[0]")));
+    client.server().drain();
+
+    const JsonValue result = client.resultFor("delta");
+    const JsonValue *report = result.find("report");
+    EXPECT_EQ(report->find("status")->find("code")->asString(), "ok");
+    EXPECT_TRUE(report->find("legal")->find("legal")->asBool());
+    const JsonValue *inc = report->find("incremental");
+    ASSERT_NE(inc, nullptr);
+    EXPECT_FALSE(inc->find("reused_prior")->asBool());
+    EXPECT_GT(inc->find("dirty")->asInt(), 0);
+}
+
+TEST(Server, UnknownBaseReportsError)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("orphan", "grid3x3", 1, 40,
+                                       ",\"base\":\"never-ran\"")));
+    client.server().drain();
+    EXPECT_EQ(client.count("error", "orphan"), 1);
+    EXPECT_EQ(client.count("result", "orphan"), 0);
+}
+
+TEST(Server, RejectsBadRequestsAndStaysUp)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send("this is not json"));
+    EXPECT_TRUE(client.send(R"({"type":"submit","id":"x"})"));
+    EXPECT_TRUE(client.send(
+        R"({"type":"submit","id":"x","topology":"tesseract9"})"));
+    EXPECT_EQ(client.count("error"), 3);
+
+    // Still healthy: a real job goes through.
+    EXPECT_TRUE(client.send(submitLine("ok", "grid3x3", 1, 40)));
+    client.server().drain();
+    EXPECT_EQ(client.count("result", "ok"), 1);
+}
+
+TEST(Server, RejectsDuplicateActiveJobId)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("dup", "grid4x4", 1, 800)));
+    EXPECT_TRUE(client.send(submitLine("dup", "grid4x4", 1, 800)));
+    client.server().drain();
+    EXPECT_EQ(client.count("error", "dup"), 1);
+    EXPECT_EQ(client.count("result", "dup"), 1);
+
+    // A completed id may be reused; the new layout replaces the prior.
+    EXPECT_TRUE(client.send(submitLine("dup", "grid4x4", 2, 800)));
+    client.server().drain();
+    EXPECT_EQ(client.count("result", "dup"), 2);
+}
+
+TEST(Server, PingCancelErrorsAndShutdown)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(R"({"type":"ping"})"));
+    EXPECT_EQ(client.count("pong"), 1);
+    EXPECT_TRUE(client.send(R"({"type":"cancel","id":"ghost"})"));
+    EXPECT_EQ(client.count("error"), 1);
+
+    EXPECT_TRUE(client.send(submitLine("last", "grid3x3", 1, 40)));
+    // shutdown drains, answers bye, and tells the transport to stop.
+    EXPECT_FALSE(client.send(R"({"type":"shutdown"})"));
+    EXPECT_EQ(client.count("bye"), 1);
+    EXPECT_EQ(client.count("result", "last"), 1);
+}
+
+TEST(Server, ProgressStreamingHonorsProgressEvery)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("silent", "grid3x3", 1, 60)));
+    EXPECT_TRUE(client.send(submitLine("stages", "grid3x3", 1, 60,
+                                       ",\"progress\":0")));
+    client.server().drain();
+
+    EXPECT_EQ(client.count("progress", "silent"), 0);
+    // Stage events only: begin+end per stage, no iteration events.
+    EXPECT_GE(client.count("progress", "stages"), 2 * 5);
+    for (const JsonValue &r : client.responses()) {
+        const JsonValue *e = r.find("event");
+        ASSERT_TRUE(!e || e->asString() != "iteration");
+    }
+}
+
+} // namespace
+} // namespace qplacer

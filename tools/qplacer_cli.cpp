@@ -95,7 +95,8 @@ Options:
                       legalizer.flowSparseThreshold,
                       legalizer.flowSparseNeighbors,
                       legalizer.referenceProbes,
-                      legalizer.integration, hotspot.adjacencyTolUm.
+                      legalizer.integration, hotspot.adjacencyTolUm,
+                      incremental.maxIters, incremental.snapToleranceUm.
   --csv PATH          Write a metrics CSV to PATH (one row per job).
   --svg PATH          Render the placed layout to PATH as SVG (--jobs 1).
   --layout PATH       Save instance positions ("id kind x y freq") to PATH
@@ -109,38 +110,6 @@ Options:
   --quiet             Suppress status logging (errors still shown).
   --help              Show this message.
 )";
-
-/** Keys understood by --set; anything else is a user error. */
-const char *kKnownSetKeys[] = {
-    "targetUtil",
-    "placer.maxIters",
-    "placer.minIters",
-    "placer.bins",
-    "placer.targetDensity",
-    "placer.stopOverflow",
-    "placer.freqForce",
-    "placer.freqWeight",
-    "placer.freqCutoffFactor",
-    "placer.threads",
-    "assigner.distance2",
-    "assigner.detuningThresholdGHz",
-    "assigner.referenceEngine",
-    "builder.reference",
-    "builder.serialBelow",
-    "legalizer.cellUm",
-    "legalizer.flowRefine",
-    "legalizer.flowSparseThreshold",
-    "legalizer.flowSparseNeighbors",
-    "legalizer.referenceProbes",
-    "legalizer.integration",
-    "hotspot.adjacencyTolUm",
-};
-
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
 
 /** std::stod with a CLI-grade error message; rejects nan/inf. */
 double
@@ -197,56 +166,18 @@ toLower(std::string s)
     return s;
 }
 
-/** Parse "3x9" from a spec tail; fatal() on malformed input. */
-void
-parseDims(const std::string &spec, const std::string &tail, int &a, int &b)
-{
-    const auto x = tail.find('x');
-    std::size_t consumed_a = 0;
-    std::size_t consumed_b = 0;
-    if (x == std::string::npos || x == 0 || x + 1 >= tail.size())
-        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
-    try {
-        a = std::stoi(tail.substr(0, x), &consumed_a);
-        b = std::stoi(tail.substr(x + 1), &consumed_b);
-    } catch (const std::exception &) {
-        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
-    }
-    if (consumed_a != x || consumed_b != tail.size() - x - 1 || a <= 0 ||
-        b <= 0)
-        fatal("bad topology spec '" + spec + "': expected <rows>x<cols>");
-}
-
 /**
- * Resolve a topology spec: paper device names (case-insensitive) or a
- * parametric gridRxC / heavyhexRxW / octagonRxC spec.
+ * Resolve a topology spec through the shared factory helper
+ * (resolveTopologySpec); unknown or malformed specs are a CLI error.
  */
 Topology
 resolveTopology(const std::string &spec)
 {
-    const std::string lower = toLower(spec);
-    for (const std::string &name : paperTopologyNames())
-        if (lower == toLower(name))
-            return makeTopology(name);
-    if (lower == "grid25")
-        return makeTopology("Grid25");
-
-    int a = 0;
-    int b = 0;
-    if (startsWith(lower, "grid")) {
-        parseDims(spec, lower.substr(4), a, b);
-        return makeGrid(a, b);
-    }
-    if (startsWith(lower, "heavyhex")) {
-        parseDims(spec, lower.substr(8), a, b);
-        return makeHeavyHex(a, b);
-    }
-    if (startsWith(lower, "octagon")) {
-        parseDims(spec, lower.substr(7), a, b);
-        return makeOctagon(a, b);
-    }
-    fatal("unknown topology '" + spec +
-          "' (try --list-topologies, gridRxC, heavyhexRxW, octagonRxC)");
+    Topology topo;
+    std::string error;
+    if (!resolveTopologySpec(spec, topo, &error))
+        fatal(error + " (see --list-topologies)");
+    return topo;
 }
 
 PlacerMode
@@ -260,70 +191,6 @@ parseMode(const std::string &value)
     if (lower == "human")
         return PlacerMode::Human;
     fatal("unknown mode '" + value + "' (expected qplacer|classic|human)");
-}
-
-/**
- * Map --set overrides onto the flow parameter tree. Only the
- * user-facing knobs are touched here; cross-parameter consistency
- * (detuning threshold propagation, targetUtil mirroring, range
- * validation) is FlowParams::normalized()'s job.
- */
-void
-applyOverrides(const Config &cfg, FlowParams &params)
-{
-    params.targetUtil = cfg.getDouble("targetUtil", params.targetUtil);
-
-    PlacerParams &pp = params.placer;
-    pp.maxIters = static_cast<int>(cfg.getInt("placer.maxIters", pp.maxIters));
-    pp.minIters = static_cast<int>(cfg.getInt("placer.minIters", pp.minIters));
-    pp.bins = static_cast<int>(cfg.getInt("placer.bins", pp.bins));
-    pp.targetDensity = cfg.getDouble("placer.targetDensity", pp.targetDensity);
-    pp.stopOverflow = cfg.getDouble("placer.stopOverflow", pp.stopOverflow);
-    pp.freqForce = cfg.getBool("placer.freqForce", pp.freqForce);
-    pp.freqWeight = cfg.getDouble("placer.freqWeight", pp.freqWeight);
-    pp.freqCutoffFactor =
-        cfg.getDouble("placer.freqCutoffFactor", pp.freqCutoffFactor);
-    pp.threads = static_cast<int>(cfg.getInt("placer.threads", pp.threads));
-
-    AssignerParams &ap = params.assigner;
-    ap.distance2 = cfg.getBool("assigner.distance2", ap.distance2);
-    ap.detuningThresholdHz =
-        cfg.getDouble("assigner.detuningThresholdGHz",
-                      ap.detuningThresholdHz / 1e9) *
-        1e9;
-    // The reference assigner/builder engines exist for A/B timing (see
-    // bench/assign_scale); outputs are identical either way.
-    ap.engine = cfg.getBool("assigner.referenceEngine",
-                            ap.engine == AssignEngine::Reference)
-                    ? AssignEngine::Reference
-                    : AssignEngine::Fast;
-
-    PartitionParams &bp = params.partition;
-    bp.buildEngine = cfg.getBool("builder.reference",
-                                 bp.buildEngine == BuildEngine::Reference)
-                         ? BuildEngine::Reference
-                         : BuildEngine::Fast;
-    bp.buildSerialBelow = static_cast<int>(
-        cfg.getInt("builder.serialBelow", bp.buildSerialBelow));
-
-    LegalizerParams &lp = params.legalizer;
-    lp.cellUm = cfg.getDouble("legalizer.cellUm", lp.cellUm);
-    lp.flowRefine = cfg.getBool("legalizer.flowRefine", lp.flowRefine);
-    lp.flowSparseThreshold = static_cast<int>(cfg.getInt(
-        "legalizer.flowSparseThreshold", lp.flowSparseThreshold));
-    lp.flowSparseNeighbors = static_cast<int>(cfg.getInt(
-        "legalizer.flowSparseNeighbors", lp.flowSparseNeighbors));
-    // The reference probe engine exists for A/B timing (see
-    // bench/legalize_scale); layouts are identical either way.
-    lp.probeEngine = cfg.getBool("legalizer.referenceProbes",
-                                 lp.probeEngine ==
-                                     ProbeEngine::Reference)
-                         ? ProbeEngine::Reference
-                         : ProbeEngine::Fast;
-    lp.integration = cfg.getBool("legalizer.integration", lp.integration);
-
-    params.hotspot.adjacencyTolUm =
-        cfg.getDouble("hotspot.adjacencyTolUm", params.hotspot.adjacencyTolUm);
 }
 
 CliOptions
@@ -374,10 +241,7 @@ parseArgs(int argc, char **argv)
             if (eq == std::string::npos || eq == 0)
                 fatal("--set expects KEY=VALUE, got '" + kv + "'");
             const std::string key = kv.substr(0, eq);
-            bool known = false;
-            for (const char *candidate : kKnownSetKeys)
-                known = known || key == candidate;
-            if (!known)
+            if (!isKnownSetKey(key))
                 fatal("unknown --set key '" + key + "' (see --help)");
             opts.overrides.set(key, kv.substr(eq + 1));
         } else if (arg == "--csv") {

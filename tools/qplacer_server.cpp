@@ -1,0 +1,277 @@
+/**
+ * @file
+ * qplacer_server: the placement-as-a-service daemon.
+ *
+ * Speaks the qplacer.serve/1 newline-delimited JSON protocol
+ * (docs/PROTOCOL.md) over stdin/stdout by default, or over a Unix
+ * domain socket with --socket. All engine logic lives in
+ * PlacementServer (src/service/server.hpp); this file is transport
+ * only: read lines, hand them to the server, serialize the responses.
+ *
+ * Examples:
+ *   echo '{"type":"submit","id":"a","topology":"Falcon"}' \
+ *     | qplacer_server --workers 2
+ *   qplacer_server --socket /tmp/qplacer.sock &
+ *   printf '%s\n' '{"type":"ping"}' | nc -U /tmp/qplacer.sock
+ *
+ * Logging goes to stderr (util/logging.hpp), so stdout stays pure
+ * NDJSON even with --workers > 1.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "qplacer.hpp"
+#include "util/logging.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+#endif
+
+namespace qplacer {
+namespace {
+
+struct ServerCliOptions
+{
+    int workers = 0;        ///< 0 = hardware concurrency, capped.
+    std::string socketPath; ///< Empty = stdin/stdout transport.
+    bool quiet = false;
+    bool help = false;
+};
+
+const char *kUsage =
+    R"(qplacer_server - placement-as-a-service daemon (qplacer.serve/1)
+
+Reads newline-delimited JSON requests and writes one JSON response per
+line; see docs/PROTOCOL.md for the wire format. A warm PlacementSession
+per worker keeps thread pools and plan caches alive across jobs, and
+submit requests with a "base" field re-place incrementally from a prior
+job's layout.
+
+Usage: qplacer_server [options]
+
+Options:
+  --workers N    Concurrent jobs (default 0 = hardware concurrency,
+                 capped; 1 = strictly ordered). With N > 1 each job is
+                 placed single-threaded, so results stay bitwise-
+                 identical to serial runs.
+  --socket PATH  Serve on a Unix domain socket instead of stdin/stdout
+                 (one protocol session per connection; POSIX only).
+  --quiet        Suppress status logging (errors still shown).
+  --help         Show this message.
+)";
+
+ServerCliOptions
+parseArgs(int argc, char **argv)
+{
+    ServerCliOptions opts;
+    auto need = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc)
+            fatal("missing value for " + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workers") {
+            try {
+                opts.workers = std::stoi(need(i, arg));
+            } catch (const std::exception &) {
+                fatal("expected an integer for --workers");
+            }
+            if (opts.workers < 0)
+                fatal("--workers must be non-negative");
+        } else if (arg == "--socket") {
+            opts.socketPath = need(i, arg);
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            fatal("unknown option '" + arg + "' (see --help)");
+        }
+    }
+    return opts;
+}
+
+/** Serve one request stream; returns when the peer closes or quits. */
+void
+serveStream(PlacementServer &server, std::istream &in,
+            const ResponseSink &sink)
+{
+    sink(makeHello(server.workers()));
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!server.handleLine(line, sink))
+            break; // Shutdown requested; bye already emitted.
+    }
+}
+
+int
+serveStdio(const ServerCliOptions &opts)
+{
+    ServerOptions options;
+    options.workers = opts.workers;
+    options.logging = !opts.quiet;
+    PlacementServer server(options);
+    serveStream(server, std::cin, [](const JsonValue &response) {
+        const std::string text = response.serialize();
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    });
+    server.drain();
+    return 0;
+}
+
+#ifndef _WIN32
+
+/** Write all of @p text + newline to @p fd; false on a broken peer. */
+bool
+writeLine(int fd, const std::string &text)
+{
+    std::string framed = text;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd, framed.data() + sent, framed.size() - sent,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One connection: line-framed reads, shared PlacementServer. */
+void
+serveConnection(PlacementServer &server, int fd, std::atomic<bool> &stop)
+{
+    const ResponseSink sink = [fd](const JsonValue &response) {
+        writeLine(fd, response.serialize());
+    };
+    sink(makeHello(server.workers()));
+
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t eol;
+        while (open && (eol = buffer.find('\n')) != std::string::npos) {
+            const std::string line = buffer.substr(0, eol);
+            buffer.erase(0, eol + 1);
+            if (line.empty())
+                continue;
+            if (!server.handleLine(line, sink)) {
+                stop.store(true);
+                open = false;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+int
+serveSocket(const ServerCliOptions &opts)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("--socket path too long");
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0)
+        fatal("socket() failed");
+    ::unlink(opts.socketPath.c_str());
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("bind('" + opts.socketPath + "') failed");
+    if (::listen(listener, 8) != 0)
+        fatal("listen('" + opts.socketPath + "') failed");
+    if (!opts.quiet)
+        inform("qplacer_server: listening on " + opts.socketPath);
+
+    ServerOptions options;
+    options.workers = opts.workers;
+    options.logging = !opts.quiet;
+    PlacementServer server(options);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> connections;
+    while (!stop.load()) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            break;
+        if (stop.load()) {
+            ::close(fd);
+            break;
+        }
+        connections.emplace_back(
+            [&server, fd, &stop] { serveConnection(server, fd, stop); });
+    }
+    for (std::thread &t : connections)
+        if (t.joinable())
+            t.join();
+    ::close(listener);
+    ::unlink(opts.socketPath.c_str());
+    server.drain();
+    return 0;
+}
+
+#endif // !_WIN32
+
+int
+serverMain(int argc, char **argv)
+{
+    const ServerCliOptions opts = parseArgs(argc, argv);
+    if (opts.help) {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (opts.quiet)
+        Logger::instance().setLevel(LogLevel::Warn);
+    if (!opts.socketPath.empty()) {
+#ifndef _WIN32
+        return serveSocket(opts);
+#else
+        fatal("--socket is not supported on this platform");
+#endif
+    }
+    return serveStdio(opts);
+}
+
+} // namespace
+} // namespace qplacer
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return qplacer::serverMain(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "qplacer_server: %s\n", e.what());
+        return 1;
+    }
+}
