@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,10 @@ JsonValue::boolean(bool v)
 JsonValue
 JsonValue::number(double v)
 {
+    // NaN/inf have no JSON literal; emit null so a degenerate metric
+    // cannot make a response line unparseable.
+    if (!std::isfinite(v))
+        return JsonValue();
     JsonValue j;
     j.kind_ = Kind::Number;
     j.number_ = v;

@@ -35,6 +35,7 @@ public:
 
     static JsonValue null();
     static JsonValue boolean(bool v);
+    /** Finite doubles only: NaN/inf collapse to null (valid JSON). */
     static JsonValue number(double v);
     /** Integer helper: emits a plain integer literal, no exponent. */
     static JsonValue number(std::int64_t v);

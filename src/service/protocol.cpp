@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "pipeline/overrides.hpp"
@@ -16,6 +17,17 @@ failParse(std::string *error, const std::string &message)
     if (error != nullptr)
         *error = message;
     return false;
+}
+
+/**
+ * True if @p v is an integer representable as int. The range check
+ * runs before any cast: static_cast<int> of an out-of-range double
+ * is undefined behavior, so untrusted values must be vetted first.
+ */
+bool
+isSmallNonNegativeInt(double v)
+{
+    return v >= 0.0 && v <= 2147483647.0 && std::floor(v) == v;
 }
 
 /** Non-negative integer from a Number literal (uint64 seeds). */
@@ -103,7 +115,7 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
             return failParse(error,
                              "'progress' must be a non-negative integer");
         const double v = progress->asDouble();
-        if (v < 0.0 || v != static_cast<double>(static_cast<int>(v)))
+        if (!isSmallNonNegativeInt(v))
             return failParse(error,
                              "'progress' must be a non-negative integer");
         req.progressEvery = static_cast<int>(v);
@@ -137,7 +149,7 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
                 return failParse(
                     error, "'dirty_qubits' must be an array of qubit ids");
             const double v = item.asDouble();
-            if (v < 0.0 || v != static_cast<double>(static_cast<int>(v)))
+            if (!isSmallNonNegativeInt(v))
                 return failParse(
                     error, "'dirty_qubits' entries must be non-negative "
                            "integers");

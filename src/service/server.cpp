@@ -231,6 +231,11 @@ PlacementServer::workerLoop(int worker_index)
                 return; // stopping_ and nothing left to drain.
             job = std::move(queue_.front());
             queue_.pop_front();
+            // Reset the token before publishing runningId, both under
+            // mu_: once a cancel request can match this job, nothing
+            // may wipe its token again (a late reset would turn an
+            // acked cancel into a job that runs to completion).
+            self.session->cancelToken().reset();
             self.runningId = job.request.id;
         }
         runJob(worker_index, job);
@@ -287,8 +292,7 @@ PlacementServer::runJob(int worker_index, Job &job)
     StreamObserver observer(
         req.id, req.progressEvery,
         [this, &job](const JsonValue &v) { emit(job.sink, v); });
-    session.cancelToken().reset();
-    session.setObserver(&observer);
+    session.setObserver(&observer); // Token was reset in workerLoop.
     FlowResult result;
     if (prior) {
         NetlistDelta delta;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "pipeline/flow.hpp"
@@ -55,6 +56,21 @@ TEST(Json, DoubleSerializationRoundTrips)
         const std::string text = JsonValue::number(v).serialize();
         EXPECT_EQ(parseOk(text).asDouble(), v) << text;
     }
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    // NaN/inf would print as 'nan'/'inf' -- invalid JSON that breaks
+    // NDJSON clients -- so number() collapses them to null.
+    EXPECT_EQ(JsonValue::number(std::numeric_limits<double>::quiet_NaN())
+                  .serialize(),
+              "null");
+    EXPECT_EQ(JsonValue::number(std::numeric_limits<double>::infinity())
+                  .serialize(),
+              "null");
+    EXPECT_EQ(JsonValue::number(-std::numeric_limits<double>::infinity())
+                  .serialize(),
+              "null");
 }
 
 TEST(Json, NestedStructureRoundTrips)
@@ -180,12 +196,15 @@ TEST(Protocol, RejectsMalformedRequests)
         R"({"type":"submit","id":"x","topology":"g","seed":1.5})",
         R"({"type":"submit","id":"x","topology":"g","segment":0})",
         R"({"type":"submit","id":"x","topology":"g","progress":-2})",
+        R"({"type":"submit","id":"x","topology":"g","progress":1e10})",
+        R"({"type":"submit","id":"x","topology":"g","progress":0.5})",
         R"({"type":"submit","id":"x","topology":"g","set":{"bogus":1}})",
         R"({"type":"submit","id":"x","topology":"g","set":{"placer.maxIters":[1]}})",
         R"({"type":"submit","id":"x","topology":"g","base":""})",
         R"({"type":"submit","id":"x","topology":"g","mode":"human","base":"y"})",
         R"({"type":"submit","id":"x","topology":"g","dirty_qubits":[1]})",
         R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_qubits":[-1]})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_qubits":[1e10]})",
         R"({"type":"cancel"})",                           // cancel w/o id
     };
     for (const char *line : bad) {

@@ -33,6 +33,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 #endif
@@ -159,12 +161,68 @@ writeLine(int fd, const std::string &text)
     return true;
 }
 
+/**
+ * Owns one connection's fd for writing. Job sinks hold this via
+ * shared_ptr, so a sink can outlive the connection thread (queued
+ * jobs finish after the peer hangs up): once close() ran, emits are
+ * dropped instead of writing to a descriptor number the kernel may
+ * already have recycled for another accept(). A failed send marks
+ * the peer broken (later emits are dropped) but does NOT close the
+ * fd -- the recv loop still owns it for reading.
+ */
+class ConnectionWriter
+{
+  public:
+    explicit ConnectionWriter(int fd) : fd_(fd) {}
+
+    /** The connection's fd; valid until close(), constant for life. */
+    int fd() const { return fd_; }
+
+    void
+    emit(const JsonValue &response)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_ || broken_)
+            return;
+        if (!writeLine(fd_, response.serialize()))
+            broken_ = true;
+    }
+
+    /** Unblocks a recv() on this fd (EOF) without closing it. */
+    void
+    shutdownRead()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!closed_)
+            ::shutdown(fd_, SHUT_RD);
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!closed_) {
+            ::close(fd_);
+            closed_ = true;
+        }
+    }
+
+  private:
+    std::mutex mu_;
+    const int fd_;
+    bool closed_ = false;
+    bool broken_ = false;
+};
+
 /** One connection: line-framed reads, shared PlacementServer. */
 void
-serveConnection(PlacementServer &server, int fd, std::atomic<bool> &stop)
+serveConnection(PlacementServer &server,
+                const std::shared_ptr<ConnectionWriter> &writer,
+                int listener, std::atomic<bool> &stop)
 {
-    const ResponseSink sink = [fd](const JsonValue &response) {
-        writeLine(fd, response.serialize());
+    const int fd = writer->fd();
+    const ResponseSink sink = [writer](const JsonValue &response) {
+        writer->emit(response);
     };
     sink(makeHello(server.workers()));
 
@@ -184,11 +242,20 @@ serveConnection(PlacementServer &server, int fd, std::atomic<bool> &stop)
                 continue;
             if (!server.handleLine(line, sink)) {
                 stop.store(true);
+                // accept() in serveSocket blocks with no one left to
+                // connect; shut the listener down so it returns and
+                // the daemon can drain and exit.
+                ::shutdown(listener, SHUT_RDWR);
                 open = false;
             }
         }
     }
-    ::close(fd);
+    // A peer may half-close its write side right after submitting
+    // (the `printf | nc -U` pattern above): recv() sees EOF while its
+    // jobs are still queued. Wait for outstanding jobs before closing
+    // so their results reach the socket rather than a dead writer.
+    server.drain();
+    writer->close();
 }
 
 int
@@ -220,6 +287,7 @@ serveSocket(const ServerCliOptions &opts)
 
     std::atomic<bool> stop{false};
     std::vector<std::thread> connections;
+    std::vector<std::weak_ptr<ConnectionWriter>> writers;
     while (!stop.load()) {
         const int fd = ::accept(listener, nullptr, nullptr);
         if (fd < 0)
@@ -228,9 +296,17 @@ serveSocket(const ServerCliOptions &opts)
             ::close(fd);
             break;
         }
-        connections.emplace_back(
-            [&server, fd, &stop] { serveConnection(server, fd, stop); });
+        auto writer = std::make_shared<ConnectionWriter>(fd);
+        writers.push_back(writer);
+        connections.emplace_back([&server, writer, listener, &stop] {
+            serveConnection(server, writer, listener, stop);
+        });
     }
+    // Kick idle connections out of recv() so the join below cannot
+    // hang on a client that stays connected across shutdown.
+    for (const std::weak_ptr<ConnectionWriter> &entry : writers)
+        if (const auto writer = entry.lock())
+            writer->shutdownRead();
     for (std::thread &t : connections)
         if (t.joinable())
             t.join();
