@@ -81,7 +81,8 @@ GlobalPlacer::place(Netlist &netlist, ThreadPool *pool,
 
         if (monitor.onIteration) {
             monitor.onIteration({iter, overflow, objective.lambda(),
-                                 objective.freqLambda()});
+                                 objective.freqLambda(),
+                                 objective.hpwl(optimizer.lookahead())});
         }
 
         if (iter >= params_.minIters && overflow < params_.stopOverflow) {

@@ -36,6 +36,13 @@ struct PlaceProgress
     double overflow = 1.0;   ///< Density overflow after evaluate().
     double lambda = 0.0;     ///< Current density penalty weight.
     double freqLambda = 0.0; ///< Current frequency penalty weight.
+    /**
+     * Exact HPWL of the iterate the objective just evaluated. Only
+     * computed when a monitor is attached (an extra O(nets) reduction
+     * per iteration); 0 otherwise. Portfolio pruning ranks candidate
+     * trajectories on (overflow, hpwl) snapshots.
+     */
+    double hpwl = 0.0;
 };
 
 /**

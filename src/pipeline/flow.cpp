@@ -90,6 +90,18 @@ FlowParams::normalized(std::string *error) const
           "FlowParams: incremental.maxIters must be at least 1");
     check(incremental.snapToleranceUm >= 0.0,
           "FlowParams: incremental.snapToleranceUm must be non-negative");
+    check(detailed.iters >= 0,
+          "FlowParams: detailed.iters must be non-negative (0 = no-op)");
+    check(detailed.tempStart >= 0.0,
+          "FlowParams: detailed.tempStart must be non-negative");
+    check(detailed.tempDecay > 0.0 && detailed.tempDecay <= 1.0,
+          "FlowParams: detailed.tempDecay must be in (0, 1]");
+    check(portfolio.seeds >= 1,
+          "FlowParams: portfolio.seeds must be at least 1");
+    check(portfolio.pruneAt >= 1,
+          "FlowParams: portfolio.pruneAt must be at least 1");
+    check(portfolio.keepFrac > 0.0 && portfolio.keepFrac <= 1.0,
+          "FlowParams: portfolio.keepFrac must be in (0, 1]");
 
     if (error)
         *error = first_error;

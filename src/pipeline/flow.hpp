@@ -27,6 +27,7 @@
 #include "eval/area.hpp"
 #include "eval/hotspot.hpp"
 #include "freq/assigner.hpp"
+#include "legal/anneal.hpp"
 #include "legal/legalizer.hpp"
 #include "netlist/builder.hpp"
 #include "pipeline/stage.hpp"
@@ -65,6 +66,34 @@ struct IncrementalPlaceParams
     double snapToleranceUm = 50.0;
 };
 
+/**
+ * Knobs of the multi-start portfolio (PlacementSession::runPortfolio).
+ * With seeds <= 1 the portfolio degrades to the exact single-seed flow
+ * (runPortfolio forwards to run(), bitwise-identical); ignored by the
+ * plain run()/runBatch() paths.
+ */
+struct PortfolioParams
+{
+    /**
+     * Candidate count: seeds placer.seed .. placer.seed + seeds - 1
+     * (wrapping mod 2^64) run concurrently, each single-threaded.
+     */
+    int seeds = 1;
+
+    /**
+     * First pruning checkpoint, in global-placement iterations.
+     * Candidates run truncated probe placements to the checkpoint, the
+     * bottom (1 - keepFrac) is dropped, and the checkpoint doubles
+     * until one survivor remains or the budget is reached. The base
+     * seed is exempt from pruning, so the portfolio can never return a
+     * worse layout than the single-seed flow.
+     */
+    int pruneAt = 60;
+
+    /** Fraction of candidates kept at each checkpoint, in (0, 1]. */
+    double keepFrac = 0.5;
+};
+
 /** Full-flow configuration. */
 struct FlowParams
 {
@@ -75,6 +104,8 @@ struct FlowParams
     LegalizerParams legalizer;
     HotspotParams hotspot;
     IncrementalPlaceParams incremental;
+    DetailedPlaceParams detailed; ///< Post-legalization annealing stage.
+    PortfolioParams portfolio;    ///< Multi-start knobs (runPortfolio).
     double targetUtil = 0.72;
 
     /**
@@ -113,6 +144,28 @@ struct IncrementalStats
     int movableInstances = 0; ///< Instances legalization could move.
 };
 
+/** One candidate of a portfolio run (PortfolioStats::candidates). */
+struct PortfolioCandidate
+{
+    std::uint64_t seed = 0;  ///< Resolved placer seed.
+    int prunedAtIters = 0;   ///< Probe budget when dropped (0 = survived).
+    double probeOverflow = 1.0; ///< Last probe overflow snapshot.
+    double probeHpwl = 0.0;     ///< Last probe HPWL snapshot.
+    bool ranFull = false;       ///< Survived pruning, ran the full flow.
+    double finalHpwl = 0.0;     ///< Final layout HPWL (ranFull only).
+    bool winner = false;        ///< This candidate's layout was returned.
+};
+
+/** Diagnostics of a portfolio run (zero/empty for single-seed runs). */
+struct PortfolioStats
+{
+    bool portfolio = false; ///< This result came from runPortfolio.
+    int seeds = 0;          ///< Candidates launched.
+    int rungs = 0;          ///< Pruning checkpoints evaluated.
+    std::uint64_t winnerSeed = 0;
+    std::vector<PortfolioCandidate> candidates; ///< Indexed by offset.
+};
+
 /** Everything a flow run produces. */
 struct FlowResult
 {
@@ -126,6 +179,8 @@ struct FlowResult
     HotspotReport hotspots;
     FlowStatus status;    ///< Structured outcome (Ok / error / cancelled).
     IncrementalStats incremental; ///< Warm-start diagnostics, if any.
+    DetailedStats detailed;       ///< Detailed-placement stats, if run.
+    PortfolioStats portfolioStats; ///< Portfolio diagnostics, if any.
     std::vector<StageTiming> stageTimings; ///< Per-stage wall clocks.
     double seconds = 0.0; ///< End-to-end wall-clock.
 };

@@ -27,6 +27,13 @@ const char *const kKnownSetKeys[] = {
     "hotspot.adjacencyTolUm",
     "incremental.maxIters",
     "incremental.snapToleranceUm",
+    "detailed.enabled",
+    "detailed.iters",
+    "detailed.tempStart",
+    "detailed.tempDecay",
+    "portfolio.seeds",
+    "portfolio.pruneAt",
+    "portfolio.keepFrac",
 };
 
 std::size_t
@@ -106,6 +113,18 @@ applyOverrides(const Config &cfg, FlowParams &params)
         static_cast<int>(cfg.getInt("incremental.maxIters", ip.maxIters));
     ip.snapToleranceUm =
         cfg.getDouble("incremental.snapToleranceUm", ip.snapToleranceUm);
+
+    DetailedPlaceParams &dp = params.detailed;
+    dp.enabled = cfg.getBool("detailed.enabled", dp.enabled);
+    dp.iters = static_cast<int>(cfg.getInt("detailed.iters", dp.iters));
+    dp.tempStart = cfg.getDouble("detailed.tempStart", dp.tempStart);
+    dp.tempDecay = cfg.getDouble("detailed.tempDecay", dp.tempDecay);
+
+    PortfolioParams &fp = params.portfolio;
+    fp.seeds = static_cast<int>(cfg.getInt("portfolio.seeds", fp.seeds));
+    fp.pruneAt =
+        static_cast<int>(cfg.getInt("portfolio.pruneAt", fp.pruneAt));
+    fp.keepFrac = cfg.getDouble("portfolio.keepFrac", fp.keepFrac);
 }
 
 } // namespace qplacer

@@ -97,6 +97,34 @@ class PlacementSession
                                      const std::vector<FlowParams> &jobs);
 
     /**
+     * Multi-start portfolio: place @p topo under seeds
+     * placer.seed .. placer.seed + seeds - 1 (wrapping mod 2^64),
+     * candidates running concurrently on the batch pool, each
+     * single-threaded. Candidates first run truncated probe placements
+     * (assign -> build -> place, budget params.portfolio.pruneAt
+     * iterations, doubling per rung); at each checkpoint the ranking
+     * on the recorded PlaceProgress trajectory tails (overflow, then
+     * HPWL) drops the bottom 1 - keepFrac. Survivors then run the
+     * complete flow -- including the detailed stage when enabled --
+     * and the best final layout (legal first, then lowest HPWL, then
+     * lowest seed offset) is returned with PortfolioStats attached.
+     *
+     * Determinism contract: every candidate's full run places
+     * single-threaded with its own seed, so the winner is
+     * bitwise-identical to a serial QplacerFlow::run of that seed with
+     * placer.threads = 1 (and the same detailed knobs). The base seed
+     * is exempt from pruning, so the portfolio result is never worse
+     * than the single-seed flow. With seeds <= 1 (or Human mode) this
+     * forwards to run() -- the exact single-seed path, bitwise.
+     *
+     * @p n_seeds > 0 overrides params.portfolio.seeds. The external
+     * observer is detached while candidates run (per-candidate events
+     * would interleave meaninglessly); it is restored on return.
+     */
+    FlowResult runPortfolio(const Topology &topo, const FlowParams &params,
+                            int n_seeds = 0);
+
+    /**
      * Incremental re-place (incremental.hpp): place @p topo warm-
      * started from @p prior, re-placing only the @p delta closure. An
      * empty delta on an unchanged topology reproduces the prior layout

@@ -122,7 +122,9 @@ class FlowStage
  * The Fig. 7 stage sequence for @p params (which must already be
  * normalized): assign -> build -> place -> legalize -> metrics, with
  * build/place/legalize replaced by the manual layout stage in Human
- * mode.
+ * mode. When params.detailed.enabled with a positive iteration budget
+ * (and not in Human mode), the annealing detailed-placement stage is
+ * inserted between legalize and metrics.
  */
 std::vector<std::unique_ptr<FlowStage>>
 makeDefaultStages(const FlowParams &params);
@@ -130,10 +132,12 @@ makeDefaultStages(const FlowParams &params);
 /**
  * Individual default stages, for composing custom pipelines (the
  * incremental re-place sequence in incremental.hpp reuses assign/build
- * and metrics around its own warm-start stages).
+ * and metrics around its own warm-start stages; the portfolio's probe
+ * pipeline truncates after the global-place stage).
  */
 std::unique_ptr<FlowStage> makeAssignStage();
 std::unique_ptr<FlowStage> makeBuildStage();
+std::unique_ptr<FlowStage> makeGlobalPlaceStage();
 std::unique_ptr<FlowStage> makeMetricsStage();
 
 /**

@@ -137,6 +137,40 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
                 error, "incremental re-place requires qplacer|classic mode");
     }
 
+    if (const JsonValue *portfolio = doc.find("portfolio")) {
+        if (!portfolio->isObject())
+            return failParse(error, "'portfolio' must be an object");
+        const JsonValue *seeds = portfolio->find("seeds");
+        if (!seeds || !seeds->isNumber() ||
+            !isSmallNonNegativeInt(seeds->asDouble()) ||
+            seeds->asDouble() < 1.0)
+            return failParse(error,
+                             "'portfolio.seeds' must be a positive integer");
+        req.portfolioSeeds = static_cast<int>(seeds->asDouble());
+        if (const JsonValue *prune = portfolio->find("prune_at")) {
+            if (!prune->isNumber() ||
+                !isSmallNonNegativeInt(prune->asDouble()) ||
+                prune->asDouble() < 1.0)
+                return failParse(
+                    error,
+                    "'portfolio.prune_at' must be a positive integer");
+            req.portfolioPruneAt = static_cast<int>(prune->asDouble());
+        }
+        if (const JsonValue *keep = portfolio->find("keep_frac")) {
+            if (!keep->isNumber() || !(keep->asDouble() > 0.0) ||
+                keep->asDouble() > 1.0)
+                return failParse(
+                    error, "'portfolio.keep_frac' must be in (0, 1]");
+            req.portfolioKeepFrac = keep->asDouble();
+        }
+        if (!req.baseId.empty() && req.portfolioSeeds > 1)
+            return failParse(
+                error, "'portfolio' and 'base' are mutually exclusive");
+        if (req.mode == PlacerMode::Human && req.portfolioSeeds > 1)
+            return failParse(
+                error, "portfolio requires qplacer|classic mode");
+    }
+
     if (const JsonValue *dirty = doc.find("dirty_qubits")) {
         if (req.baseId.empty())
             return failParse(error,
@@ -282,7 +316,8 @@ makeStageEnd(const std::string &id, const std::string &stage,
 }
 
 JsonValue
-makeIteration(const std::string &id, int iteration, double overflow)
+makeIteration(const std::string &id, int iteration, double overflow,
+              double hpwl)
 {
     JsonValue v = JsonValue::object();
     v.set("type", JsonValue::string("progress"));
@@ -291,6 +326,7 @@ makeIteration(const std::string &id, int iteration, double overflow)
     v.set("iteration",
           JsonValue::number(static_cast<std::int64_t>(iteration)));
     v.set("overflow", JsonValue::number(overflow));
+    v.set("hpwl_um", JsonValue::number(hpwl));
     return v;
 }
 
@@ -403,6 +439,57 @@ jobReportJson(const FlowResult &r, std::uint64_t seed)
     // The CLI's fidelity proxy needs circuit evaluation the service
     // does not run; null keeps the job shape compatible.
     job.set("fidelity", JsonValue::null());
+
+    if (r.detailed.ran) {
+        JsonValue det = JsonValue::object();
+        det.set("sweeps", JsonValue::number(static_cast<std::int64_t>(
+                              r.detailed.sweeps)));
+        det.set("proposed", JsonValue::number(static_cast<std::int64_t>(
+                                r.detailed.proposed)));
+        det.set("accepted", JsonValue::number(static_cast<std::int64_t>(
+                                r.detailed.accepted)));
+        det.set("swaps", JsonValue::number(static_cast<std::int64_t>(
+                             r.detailed.swaps)));
+        det.set("relocates", JsonValue::number(static_cast<std::int64_t>(
+                                 r.detailed.relocates)));
+        det.set("hpwl_before_um", JsonValue::number(r.detailed.hpwlBefore));
+        det.set("hpwl_after_um", JsonValue::number(r.detailed.hpwlAfter));
+        det.set("collisions_before",
+                JsonValue::number(static_cast<std::int64_t>(
+                    r.detailed.collisionsBefore)));
+        det.set("collisions_after",
+                JsonValue::number(static_cast<std::int64_t>(
+                    r.detailed.collisionsAfter)));
+        det.set("seconds", JsonValue::number(r.detailed.seconds));
+        job.set("detailed", std::move(det));
+    }
+
+    if (r.portfolioStats.portfolio) {
+        const PortfolioStats &p = r.portfolioStats;
+        JsonValue candidates = JsonValue::array();
+        for (const PortfolioCandidate &c : p.candidates) {
+            JsonValue cand = JsonValue::object();
+            cand.set("seed",
+                     JsonValue::numberLiteral(std::to_string(c.seed)));
+            cand.set("pruned_at", JsonValue::number(static_cast<std::int64_t>(
+                                      c.prunedAtIters)));
+            cand.set("probe_overflow", JsonValue::number(c.probeOverflow));
+            cand.set("probe_hpwl_um", JsonValue::number(c.probeHpwl));
+            cand.set("ran_full", JsonValue::boolean(c.ranFull));
+            cand.set("final_hpwl_um", JsonValue::number(c.finalHpwl));
+            cand.set("winner", JsonValue::boolean(c.winner));
+            candidates.push(std::move(cand));
+        }
+        JsonValue portfolio = JsonValue::object();
+        portfolio.set("seeds", JsonValue::number(static_cast<std::int64_t>(
+                                   p.seeds)));
+        portfolio.set("rungs", JsonValue::number(static_cast<std::int64_t>(
+                                   p.rungs)));
+        portfolio.set("winner_seed",
+                      JsonValue::numberLiteral(std::to_string(p.winnerSeed)));
+        portfolio.set("candidates", std::move(candidates));
+        job.set("portfolio", std::move(portfolio));
+    }
 
     if (r.incremental.incremental) {
         JsonValue inc = JsonValue::object();

@@ -51,7 +51,18 @@ struct SubmitRequest
     /** Delta for incremental runs: qubits whose neighbourhood changed. */
     std::vector<int> dirtyQubits;
 
+    /**
+     * Multi-start portfolio (the optional "portfolio" submit object):
+     * candidate count, first pruning checkpoint, and keep fraction.
+     * seeds <= 1 is the plain single-seed flow; pruneAt/keepFrac of
+     * 0 keep the server defaults. Mutually exclusive with "base".
+     */
+    int portfolioSeeds = 1;
+    int portfolioPruneAt = 0;
+    double portfolioKeepFrac = 0.0;
+
     bool isIncremental() const { return !baseId.empty(); }
+    bool isPortfolio() const { return portfolioSeeds > 1; }
 };
 
 /** Any parsed request. */
@@ -93,9 +104,13 @@ JsonValue makeStageBegin(const std::string &id, const std::string &stage);
 JsonValue makeStageEnd(const std::string &id, const std::string &stage,
                        double seconds);
 
-/** {"type":"progress","event":"iteration"} */
+/**
+ * {"type":"progress","event":"iteration"}. @p hpwl is the exact HPWL
+ * of the evaluated iterate (PlaceProgress::hpwl), an additive field of
+ * the progress event.
+ */
 JsonValue makeIteration(const std::string &id, int iteration,
-                        double overflow);
+                        double overflow, double hpwl);
 
 /**
  * {"type":"result"}: the job outcome. @p report is the
@@ -107,8 +122,10 @@ JsonValue makeResult(const std::string &id, JsonValue report);
 /**
  * One job object in the qplacer.flow_report/1 shape the CLI's
  * --report json emits (docs/REPORT_SCHEMA.md), plus the additive
- * "incremental" member for warm-started runs. The CLI-only fidelity
- * proxy is reported as null.
+ * "incremental" member for warm-started runs, the additive "detailed"
+ * member when the annealing stage ran, and the additive "portfolio"
+ * member for portfolio runs. The CLI-only fidelity proxy is reported
+ * as null.
  */
 JsonValue jobReportJson(const FlowResult &result, std::uint64_t seed);
 

@@ -45,7 +45,8 @@ class StreamObserver : public FlowObserver
     onIteration(const FlowContext &, const PlaceProgress &progress) override
     {
         if (progressEvery_ > 0 && progress.iteration % progressEvery_ == 0)
-            emit_(makeIteration(id_, progress.iteration, progress.overflow));
+            emit_(makeIteration(id_, progress.iteration, progress.overflow,
+                                progress.hpwl));
     }
 
   private:
@@ -276,8 +277,12 @@ PlacementServer::runJob(int worker_index, Job &job)
     if (req.isIncremental()) {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = priors_.find(req.baseId);
-        if (it != priors_.end())
+        if (it != priors_.end()) {
             prior = it->second;
+            // Promote on use (LRU): a hot incremental base must not be
+            // evicted by unrelated submits while still in active use.
+            promotePrior(req.baseId);
+        }
     }
     if (req.isIncremental() && !prior) {
         emit(job.sink, makeError(req.id, "unknown base job '" + req.baseId +
@@ -298,6 +303,12 @@ PlacementServer::runJob(int worker_index, Job &job)
         NetlistDelta delta;
         delta.dirtyQubits = req.dirtyQubits;
         result = session.runIncremental(*topo, params, *prior, delta);
+    } else if (req.isPortfolio()) {
+        if (req.portfolioPruneAt > 0)
+            params.portfolio.pruneAt = req.portfolioPruneAt;
+        if (req.portfolioKeepFrac > 0.0)
+            params.portfolio.keepFrac = req.portfolioKeepFrac;
+        result = session.runPortfolio(*topo, params, req.portfolioSeeds);
     } else {
         result = session.run(*topo, params);
     }
@@ -309,6 +320,8 @@ PlacementServer::runJob(int worker_index, Job &job)
         std::lock_guard<std::mutex> lock(mu_);
         if (priors_.find(req.id) == priors_.end())
             priorOrder_.push_back(req.id);
+        else
+            promotePrior(req.id); // Re-capture counts as a use.
         priors_[req.id] = std::move(captured);
         while (static_cast<int>(priorOrder_.size()) >
                options_.resultCacheCap) {
@@ -332,6 +345,18 @@ PlacementServer::emit(const ResponseSink &sink, const JsonValue &response)
 {
     std::lock_guard<std::mutex> lock(emitMu_);
     sink(response);
+}
+
+void
+PlacementServer::promotePrior(const std::string &id)
+{
+    for (auto it = priorOrder_.begin(); it != priorOrder_.end(); ++it) {
+        if (*it == id) {
+            priorOrder_.erase(it);
+            priorOrder_.push_back(id);
+            return;
+        }
+    }
 }
 
 bool

@@ -51,9 +51,10 @@ struct ServerOptions
     int workers = 1;
 
     /**
-     * Finished layouts kept for incremental re-place, evicted oldest-
-     * first. Every successful job's layout is captured (two position
-     * maps -- cheap), so any recent job id can serve as a "base".
+     * Finished layouts kept for incremental re-place, evicted least-
+     * recently-used (every lookup or re-capture of an id promotes it).
+     * Every successful job's layout is captured (two position maps --
+     * cheap), so any recent job id can serve as a "base".
      */
     int resultCacheCap = 64;
 
@@ -127,6 +128,9 @@ class PlacementServer
     bool topologyFor(const std::string &spec, const Topology *&out,
                      std::string &error);
 
+    /** Move @p id to the most-recent end of priorOrder_ (under mu_). */
+    void promotePrior(const std::string &id);
+
     ServerOptions options_;
 
     mutable std::mutex mu_; ///< Queue, worker state, priors, counters.
@@ -137,9 +141,9 @@ class PlacementServer
     bool stopping_ = false;
     int completed_ = 0;
 
-    /** Finished layouts by job id, insertion-ordered for eviction. */
+    /** Finished layouts by job id, LRU-ordered for eviction. */
     std::map<std::string, std::shared_ptr<const PriorLayout>> priors_;
-    std::deque<std::string> priorOrder_;
+    std::deque<std::string> priorOrder_; ///< Front = evict next.
 
     std::mutex topoMu_;
     std::map<std::string, std::unique_ptr<Topology>> topologies_;

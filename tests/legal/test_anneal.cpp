@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Property tests for the annealing detailed placer (ctest -L anneal):
+ *
+ *  - every accepted move leaves a legal layout (pairwise-disjoint,
+ *    in-region padded footprints), checked per move via the accept
+ *    hook, not just at the end;
+ *  - at temperature 0 the combined objective is monotone
+ *    non-increasing along the accepted trajectory;
+ *  - the refinement never worsens HPWL or the collision count;
+ *  - iters = 0 and non-legal inputs are exact no-ops;
+ *  - the walk is deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "freq/assigner.hpp"
+#include "legal/anneal.hpp"
+#include "legal/legalizer.hpp"
+#include "netlist/builder.hpp"
+#include "topology/generators.hpp"
+#include "util/rng.hpp"
+
+namespace qplacer {
+namespace {
+
+/** A built and legalized netlist ready for detailed placement. */
+Netlist
+legalizedNetlist(int rows, int cols, std::uint64_t scatter_seed)
+{
+    const Topology topo = makeGrid(rows, cols);
+    const auto freqs = FrequencyAssigner().assign(topo);
+    Netlist nl = NetlistBuilder().build(topo, freqs);
+    // Scatter the warm-start positions so legalization (and the
+    // annealer after it) has real work to do.
+    Rng rng(scatter_seed);
+    const Rect &region = nl.region();
+    for (Instance &inst : nl.instances()) {
+        inst.pos.x = region.lo.x + rng.uniform() * region.width();
+        inst.pos.y = region.lo.y + rng.uniform() * region.height();
+    }
+    nl.clampIntoRegion();
+    const LegalizeResult result = Legalizer().legalize(nl);
+    EXPECT_TRUE(result.legal);
+    return nl;
+}
+
+DetailedPlacer
+placerWith(int iters, double temp_start)
+{
+    DetailedPlaceParams params;
+    params.enabled = true;
+    params.iters = iters;
+    params.tempStart = temp_start;
+    return DetailedPlacer(params, LegalizerParams(), HotspotParams());
+}
+
+class AnnealProperties : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AnnealProperties, EveryAcceptedMovePreservesLegality)
+{
+    Netlist nl = legalizedNetlist(4, 4, GetParam());
+    long long hook_calls = 0;
+    const DetailedStats stats = placerWith(15, 75.0).refine(
+        nl, GetParam(), nullptr, [&](const Netlist &state) {
+            ++hook_calls;
+            ASSERT_TRUE(Legalizer::isLegal(state))
+                << "accepted move " << hook_calls << " broke legality";
+        });
+    ASSERT_TRUE(stats.ran);
+    EXPECT_EQ(hook_calls, stats.accepted);
+    EXPECT_TRUE(Legalizer::isLegal(nl));
+}
+
+TEST_P(AnnealProperties, ObjectiveIsMonotoneAtZeroTemperature)
+{
+    Netlist nl = legalizedNetlist(4, 4, GetParam() + 100);
+    const HotspotParams hotspot;
+    double prev = detailedObjective(nl, hotspot);
+    const DetailedStats stats = placerWith(15, /*temp_start=*/0.0).refine(
+        nl, GetParam(), nullptr, [&](const Netlist &state) {
+            const double now = detailedObjective(state, hotspot);
+            // Deltas are incremental; allow only FP noise uphill.
+            EXPECT_LE(now, prev + 1e-6 * (1.0 + std::abs(prev)));
+            prev = now;
+        });
+    ASSERT_TRUE(stats.ran);
+}
+
+TEST_P(AnnealProperties, NeverWorsensHpwlOrCollisions)
+{
+    Netlist nl = legalizedNetlist(5, 5, GetParam() + 200);
+    const DetailedStats stats = placerWith(20, 75.0).refine(nl, GetParam());
+    ASSERT_TRUE(stats.ran);
+    EXPECT_LE(stats.hpwlAfter, stats.hpwlBefore);
+    EXPECT_LE(stats.collisionsAfter, stats.collisionsBefore);
+    // The reported after-HPWL is the exact HPWL of the returned layout.
+    EXPECT_EQ(stats.hpwlAfter, layoutHpwl(nl));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealProperties,
+                         ::testing::Values(11, 42, 137));
+
+TEST(Anneal, DeterministicPerSeed)
+{
+    const Netlist base = legalizedNetlist(4, 4, 7);
+    Netlist a = base;
+    Netlist b = base;
+    const DetailedStats sa = placerWith(12, 50.0).refine(a, 99);
+    const DetailedStats sb = placerWith(12, 50.0).refine(b, 99);
+    ASSERT_TRUE(sa.ran);
+    ASSERT_TRUE(sb.ran);
+    EXPECT_TRUE(bitwiseSameLayout(a, b));
+    EXPECT_EQ(sa.accepted, sb.accepted);
+    EXPECT_EQ(sa.proposed, sb.proposed);
+    EXPECT_EQ(sa.hpwlAfter, sb.hpwlAfter);
+}
+
+TEST(Anneal, ZeroItersIsAnExactNoOp)
+{
+    const Netlist base = legalizedNetlist(4, 4, 3);
+    Netlist nl = base;
+    const DetailedStats stats = placerWith(0, 75.0).refine(nl, 1);
+    EXPECT_FALSE(stats.ran);
+    EXPECT_EQ(stats.proposed, 0);
+    EXPECT_TRUE(bitwiseSameLayout(base, nl));
+}
+
+TEST(Anneal, NonLegalInputIsReturnedUntouched)
+{
+    const Topology topo = makeGrid(3, 3);
+    const auto freqs = FrequencyAssigner().assign(topo);
+    Netlist nl = NetlistBuilder().build(topo, freqs);
+    // Pile everything onto one point: not a legal layout, so the
+    // occupancy build must fail and the netlist must come back as-is.
+    const Vec2 center(nl.region().lo.x + 0.5 * nl.region().width(),
+                      nl.region().lo.y + 0.5 * nl.region().height());
+    for (Instance &inst : nl.instances())
+        inst.pos = center;
+    const Netlist before = nl;
+    const DetailedStats stats = placerWith(10, 75.0).refine(nl, 1);
+    EXPECT_FALSE(stats.ran);
+    EXPECT_TRUE(bitwiseSameLayout(before, nl));
+}
+
+TEST(Anneal, CancelStopsBetweenSweeps)
+{
+    Netlist nl = legalizedNetlist(4, 4, 5);
+    CancelToken cancel;
+    cancel.cancel();
+    const DetailedStats stats =
+        placerWith(40, 75.0).refine(nl, 1, &cancel);
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_EQ(stats.sweeps, 0);
+    EXPECT_TRUE(Legalizer::isLegal(nl));
+}
+
+} // namespace
+} // namespace qplacer

@@ -77,6 +77,65 @@ if(NOT text_a STREQUAL text_b)
     message(FATAL_ERROR "--threads 2 runs with the same seed diverged")
 endif()
 
+# --- Seed wraparound: --jobs near UINT64_MAX wraps mod 2^64. ---
+# Base seed 2^64 - 2 with 3 jobs must resolve to the deterministic
+# sequence {2^64 - 2, 2^64 - 1, 0} -- full-precision in the CSV seed
+# column (strings, not doubles) and every job ok.
+set(wrap_csv "${WORK_DIR}/wrap.csv")
+execute_process(
+    COMMAND "${QPLACER_CLI}" --topology grid3x3
+            --seed 18446744073709551614 --jobs 3 --workers 1
+            --set placer.maxIters=60 --csv "${wrap_csv}" --quiet
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qplacer_cli wraparound batch exited ${rc}\n${err}")
+endif()
+file(STRINGS "${wrap_csv}" wrap_lines)
+list(LENGTH wrap_lines wrap_count)
+if(NOT wrap_count EQUAL 4)
+    message(FATAL_ERROR "expected 4 CSV lines (header + 3 rows), got ${wrap_count}")
+endif()
+foreach(seed 18446744073709551614 18446744073709551615 0)
+    set(seen FALSE)
+    foreach(row IN LISTS wrap_lines)
+        if(row MATCHES ",${seed},ok$")
+            set(seen TRUE)
+        endif()
+    endforeach()
+    if(NOT seen)
+        message(FATAL_ERROR "no ok row with wrapped seed ${seed} in:\n${wrap_lines}")
+    endif()
+endforeach()
+
+# --- Portfolio: --portfolio picks a winner and rejects --jobs > 1. ---
+set(folio_csv "${WORK_DIR}/folio.csv")
+execute_process(
+    COMMAND "${QPLACER_CLI}" --topology grid3x3 --seed 1 --portfolio 3
+            --set placer.maxIters=80 --csv "${folio_csv}" --quiet
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "qplacer_cli --portfolio 3 exited ${rc}\n${err}")
+endif()
+file(STRINGS "${folio_csv}" folio_lines)
+list(LENGTH folio_lines folio_count)
+if(NOT folio_count EQUAL 2)
+    message(FATAL_ERROR "portfolio run must emit one CSV row, got ${folio_count}")
+endif()
+list(GET folio_lines 1 folio_row)
+if(NOT folio_row MATCHES ",ok$")
+    message(FATAL_ERROR "portfolio run did not finish ok: ${folio_row}")
+endif()
+execute_process(
+    COMMAND "${QPLACER_CLI}" --topology grid3x3 --portfolio 2 --jobs 2
+            --quiet
+    RESULT_VARIABLE bad_rc
+    OUTPUT_QUIET ERROR_QUIET)
+if(bad_rc EQUAL 0)
+    message(FATAL_ERROR "qplacer_cli accepted --portfolio with --jobs > 1")
+endif()
+
 # --- Error path: unknown topology must fail cleanly. ---
 execute_process(
     COMMAND "${QPLACER_CLI}" --topology no-such-device --quiet

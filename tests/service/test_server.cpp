@@ -321,6 +321,80 @@ TEST(Server, PingCancelErrorsAndShutdown)
     EXPECT_EQ(client.count("result", "last"), 1);
 }
 
+TEST(Server, PriorStoreIsLruNotFifo)
+{
+    ServerOptions options;
+    options.resultCacheCap = 3;
+    Loopback client(options); // One worker: strict queue order.
+
+    EXPECT_TRUE(client.send(submitLine("base", "grid3x3", 3, 60)));
+    // Churn rounds: every round captures two new priors (the unrelated
+    // job and the incremental job itself) while re-using "base". Under
+    // FIFO eviction the cap-3 store drops "base" in the second round
+    // even though it is the hottest entry; promote-on-use (LRU) keeps
+    // it resident through arbitrary churn.
+    for (int round = 0; round < 4; ++round) {
+        EXPECT_TRUE(client.send(submitLine(
+            "churn" + std::to_string(round), "grid3x3",
+            static_cast<std::uint64_t>(10 + round), 60)));
+        EXPECT_TRUE(client.send(submitLine("use" + std::to_string(round),
+                                           "grid3x3", 3, 60,
+                                           ",\"base\":\"base\"")));
+    }
+    client.server().drain();
+
+    EXPECT_EQ(client.count("error"), 0);
+    for (int round = 0; round < 4; ++round) {
+        const JsonValue result =
+            client.resultFor("use" + std::to_string(round));
+        const JsonValue *report = result.find("report");
+        EXPECT_EQ(report->find("status")->find("code")->asString(), "ok");
+        const JsonValue *inc = report->find("incremental");
+        ASSERT_NE(inc, nullptr);
+        EXPECT_TRUE(inc->find("reused_prior")->asBool())
+            << "round " << round;
+    }
+}
+
+TEST(Server, PortfolioSubmitReportsWinnerBitwise)
+{
+    constexpr int kIters = 100;
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine(
+        "folio", "grid3x3", 1, kIters, ",\"portfolio\":{\"seeds\":3}")));
+    client.server().drain();
+
+    const JsonValue result = client.resultFor("folio");
+    const JsonValue *report = result.find("report");
+    ASSERT_EQ(report->find("status")->find("code")->asString(), "ok");
+    const JsonValue *portfolio = report->find("portfolio");
+    ASSERT_NE(portfolio, nullptr);
+    EXPECT_EQ(portfolio->find("seeds")->asInt(), 3);
+    const std::uint64_t winner_seed = static_cast<std::uint64_t>(
+        portfolio->find("winner_seed")->asInt());
+    EXPECT_GE(winner_seed, 1u);
+    EXPECT_LE(winner_seed, 3u);
+
+    // The served layout is the winning candidate's, bitwise-identical
+    // to a serial run of that seed.
+    ASSERT_NE(result.find("layout"), nullptr);
+    EXPECT_EQ(result.find("layout")->serialize(),
+              serialLayout(makeGrid(3, 3), winner_seed, kIters));
+}
+
+TEST(Server, PortfolioAndBaseAreMutuallyExclusive)
+{
+    Loopback client;
+    EXPECT_TRUE(client.send(submitLine("base", "grid3x3", 1, 40)));
+    client.server().drain();
+    EXPECT_TRUE(client.send(submitLine(
+        "both", "grid3x3", 1, 40,
+        ",\"base\":\"base\",\"portfolio\":{\"seeds\":2}")));
+    client.server().drain();
+    EXPECT_EQ(client.count("error", "both"), 1);
+    EXPECT_EQ(client.count("result", "both"), 0);
+}
+
 TEST(Server, ProgressStreamingHonorsProgressEvery)
 {
     Loopback client;

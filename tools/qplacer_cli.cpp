@@ -45,6 +45,7 @@ struct CliOptions
     int threads = 0;
     int jobs = 1;
     int workers = 0;
+    int portfolioSeeds = 1;
     double segmentUm = 300.0;
     Config overrides;
     std::string csvPath;
@@ -74,13 +75,23 @@ Options:
                       serial). Same seed + thread count reproduces the
                       placement bit for bit.
   --jobs N            Place the topology N times with seeds seed..seed+N-1
-                      through one PlacementSession (default: 1). Jobs run
-                      concurrently (see --workers); each job is placed
-                      single-threaded when jobs run concurrently, so a
-                      batch reproduces N serial --threads 1 runs bit for
-                      bit.
+                      through one PlacementSession (default: 1). Per-job
+                      seeds wrap modulo 2^64: a base seed near
+                      UINT64_MAX deterministically continues at 0, 1,
+                      ... Jobs run concurrently (see --workers); each
+                      job is placed single-threaded when jobs run
+                      concurrently, so a batch reproduces N serial
+                      --threads 1 runs bit for bit.
   --workers M         Concurrent jobs for --jobs (default 0 = hardware
                       concurrency, capped; 1 = serial batch).
+  --portfolio N       Multi-start portfolio: race N candidates seeded
+                      seed..seed+N-1 (wrapping mod 2^64), prune the
+                      weak half at doubling checkpoints, and keep the
+                      winner's layout (default: 1 = plain single-seed
+                      flow). Tune with --set portfolio.pruneAt /
+                      portfolio.keepFrac; add --set detailed.enabled=1
+                      for an annealing polish of the winner.
+                      Incompatible with --jobs > 1.
   --segment UM        Resonator segment size l_b in um (default: 300).
   --set KEY=VALUE     Override a flow parameter; repeatable. Keys:
                       targetUtil, placer.maxIters, placer.minIters,
@@ -96,7 +107,11 @@ Options:
                       legalizer.flowSparseNeighbors,
                       legalizer.referenceProbes,
                       legalizer.integration, hotspot.adjacencyTolUm,
-                      incremental.maxIters, incremental.snapToleranceUm.
+                      incremental.maxIters, incremental.snapToleranceUm,
+                      detailed.enabled, detailed.iters,
+                      detailed.tempStart, detailed.tempDecay,
+                      portfolio.seeds, portfolio.pruneAt,
+                      portfolio.keepFrac.
   --csv PATH          Write a metrics CSV to PATH (one row per job).
   --svg PATH          Render the placed layout to PATH as SVG (--jobs 1).
   --layout PATH       Save instance positions ("id kind x y freq") to PATH
@@ -224,6 +239,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--workers") {
             opts.workers = static_cast<int>(std::min<std::uint64_t>(
                 parseUint(need(i, arg), arg), ThreadPool::kMaxThreads));
+        } else if (arg == "--portfolio") {
+            const std::uint64_t seeds = parseUint(need(i, arg), arg);
+            if (seeds == 0)
+                fatal("--portfolio must be at least 1");
+            if (seeds > 1024)
+                fatal("--portfolio capped at 1024, got " +
+                      std::to_string(seeds));
+            opts.portfolioSeeds = static_cast<int>(seeds);
         } else if (arg == "--report") {
             const std::string format = toLower(need(i, arg));
             if (format == "table")
@@ -265,11 +288,53 @@ parseArgs(int argc, char **argv)
     return opts;
 }
 
-/** Per-job seed: job i of a batch runs with base seed + i. */
+/**
+ * Per-job seed: job i of a batch runs with base seed + i, wrapping
+ * modulo 2^64. Unsigned overflow is well-defined, so a base seed near
+ * UINT64_MAX deterministically continues at 0, 1, ... rather than
+ * being implementation-defined; the boundary is covered by a smoke
+ * test. Resolved seeds are pairwise distinct for any --jobs value the
+ * cap admits (wrapping collides only after 2^64 jobs); run() still
+ * rejects duplicates defensively rather than assuming the invariant.
+ */
 std::uint64_t
 jobSeed(const CliOptions &opts, std::size_t job)
 {
     return opts.seed + static_cast<std::uint64_t>(job);
+}
+
+/**
+ * Reject batches whose resolved per-job seeds collide -- duplicate
+ * seeds would silently place the same layout twice and skew any
+ * statistic derived from the batch. Unreachable under the current
+ * --jobs cap (see jobSeed), but checked, not assumed.
+ */
+void
+rejectDuplicateSeeds(const CliOptions &opts)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(opts.jobs));
+    for (std::size_t job = 0; job < static_cast<std::size_t>(opts.jobs);
+         ++job)
+        seeds.push_back(jobSeed(opts, job));
+    std::sort(seeds.begin(), seeds.end());
+    const auto dup = std::adjacent_find(seeds.begin(), seeds.end());
+    if (dup != seeds.end())
+        fatal("duplicate resolved seed " + std::to_string(*dup) +
+              " in --jobs batch (base seed " + std::to_string(opts.seed) +
+              ", " + std::to_string(opts.jobs) + " jobs)");
+}
+
+/**
+ * The seed a report row names for a result: the winning candidate's
+ * seed when a portfolio ran (the layout is that candidate's), the
+ * batch job seed otherwise.
+ */
+std::uint64_t
+reportSeed(const CliOptions &opts, std::size_t job, const FlowResult &r)
+{
+    return r.portfolioStats.portfolio ? r.portfolioStats.winnerSeed
+                                      : jobSeed(opts, job);
 }
 
 void
@@ -310,7 +375,7 @@ writeMetricsCsv(const std::string &path, const Topology &topo,
              CsvWriter::cell(result.seconds),
              // As a string: uint64 seeds overflow long long and lose
              // precision through double.
-             CsvWriter::cell(std::to_string(jobSeed(opts, job))),
+             CsvWriter::cell(std::to_string(reportSeed(opts, job, result))),
              CsvWriter::cell(
                  std::string(flowCodeName(result.status.code)))});
     }
@@ -409,7 +474,7 @@ printReportJson(std::ostream &os, const Topology &topo,
         const FlowResult &r = results[job];
         ok_jobs += r.status.ok() ? 1 : 0;
         os << "    {\n";
-        os << "      \"seed\": " << jobSeed(opts, job) << ",\n";
+        os << "      \"seed\": " << reportSeed(opts, job, r) << ",\n";
         os << "      \"status\": {\"code\": \""
            << flowCodeName(r.status.code) << "\", \"stage\": \""
            << jsonEscape(r.status.stage) << "\", \"message\": \""
@@ -468,6 +533,42 @@ printReportJson(std::ostream &os, const Topology &topo,
            << ", \"pairs\": " << r.hotspots.pairs.size()
            << ", \"impacted_qubits\": " << r.hotspots.impactedQubits.size()
            << "},\n";
+        // Additive members, mirroring jobReportJson: present only when
+        // the corresponding stage actually ran.
+        if (r.detailed.ran) {
+            os << "      \"detailed\": {\"sweeps\": " << r.detailed.sweeps
+               << ", \"proposed\": " << r.detailed.proposed
+               << ", \"accepted\": " << r.detailed.accepted
+               << ", \"swaps\": " << r.detailed.swaps
+               << ", \"relocates\": " << r.detailed.relocates
+               << ", \"hpwl_before_um\": " << jsonNum(r.detailed.hpwlBefore)
+               << ", \"hpwl_after_um\": " << jsonNum(r.detailed.hpwlAfter)
+               << ", \"collisions_before\": "
+               << r.detailed.collisionsBefore
+               << ", \"collisions_after\": " << r.detailed.collisionsAfter
+               << ", \"seconds\": " << jsonNum(r.detailed.seconds)
+               << "},\n";
+        }
+        if (r.portfolioStats.portfolio) {
+            const PortfolioStats &p = r.portfolioStats;
+            os << "      \"portfolio\": {\"seeds\": " << p.seeds
+               << ", \"rungs\": " << p.rungs << ", \"winner_seed\": "
+               << p.winnerSeed << ", \"candidates\": [";
+            for (std::size_t c = 0; c < p.candidates.size(); ++c) {
+                const PortfolioCandidate &cand = p.candidates[c];
+                os << (c ? ", " : "") << "{\"seed\": " << cand.seed
+                   << ", \"pruned_at\": " << cand.prunedAtIters
+                   << ", \"probe_overflow\": "
+                   << jsonNum(cand.probeOverflow)
+                   << ", \"probe_hpwl_um\": " << jsonNum(cand.probeHpwl)
+                   << ", \"ran_full\": "
+                   << (cand.ranFull ? "true" : "false")
+                   << ", \"final_hpwl_um\": " << jsonNum(cand.finalHpwl)
+                   << ", \"winner\": " << (cand.winner ? "true" : "false")
+                   << "}";
+            }
+            os << "]},\n";
+        }
         if (benchmark != nullptr && r.status.ok()) {
             const BenchmarkResult b =
                 evaluator.evaluate(topo, r.netlist, circuit);
@@ -539,6 +640,18 @@ printSummary(const Topology &topo, const CliOptions &opts,
         table.row({"overflow", TextTable::num(result.place.finalOverflow, 4)});
         table.row({"HPWL (um)", TextTable::num(result.place.finalHpwl, 1)});
         table.row({"legal", result.legal.legal ? "yes" : "no"});
+        if (result.portfolioStats.portfolio) {
+            table.row({"portfolio seeds",
+                       TextTable::num(result.portfolioStats.seeds, 0)});
+            table.row({"winner seed",
+                       std::to_string(result.portfolioStats.winnerSeed)});
+        }
+        if (result.detailed.ran) {
+            table.row({"detailed sweeps",
+                       TextTable::num(result.detailed.sweeps, 0)});
+            table.row({"detailed HPWL (um)",
+                       TextTable::num(result.detailed.hpwlAfter, 1)});
+        }
     }
     table.row({"P_h (%)", TextTable::num(result.hotspots.phPercent, 2)});
     table.row({"utilization", TextTable::num(result.area.utilization, 4)});
@@ -584,6 +697,10 @@ run(int argc, char **argv)
     if (opts.jobs > 1 &&
         (!opts.svgPath.empty() || !opts.layoutPath.empty()))
         fatal("--svg/--layout need a single layout; use --jobs 1");
+    if (opts.portfolioSeeds > 1 && opts.jobs > 1)
+        fatal("--portfolio races seeds inside one job; use --jobs 1");
+    if (opts.jobs > 1)
+        rejectDuplicateSeeds(opts);
 
     SessionParams session_params;
     session_params.flow = params;
@@ -592,7 +709,10 @@ run(int argc, char **argv)
 
     Timer wall;
     std::vector<FlowResult> results;
-    if (opts.jobs <= 1) {
+    if (opts.portfolioSeeds > 1) {
+        results.push_back(
+            session.runPortfolio(topo, params, opts.portfolioSeeds));
+    } else if (opts.jobs <= 1) {
         results.push_back(session.run(topo, params));
     } else {
         std::vector<FlowParams> batch(static_cast<std::size_t>(opts.jobs),
@@ -633,7 +753,7 @@ run(int argc, char **argv)
         const FlowStatus &status = results[job].status;
         if (!status.ok()) {
             std::cerr << "qplacer_cli: job " << job << " (seed "
-                      << jobSeed(opts, job) << ") "
+                      << reportSeed(opts, job, results[job]) << ") "
                       << flowCodeName(status.code)
                       << (status.stage.empty() ? "" : " in stage ")
                       << status.stage << ": " << status.message << "\n";
