@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-die cut-penalty quality: the same 2-die device placed with the
+ * cut-crossing penalty off (multidie.cutWeight = 0) and on. Reports
+ * crossing-coupler count, cut-crossing wirelength, and HPWL for both
+ * runs, and *gates* the contract in-driver: both layouts must be
+ * legal and the penalized run must produce strictly fewer crossing
+ * couplers (exit 1 otherwise). The flow is single-threaded and
+ * fixed-seed, so this is a deterministic guarantee; nightly CI
+ * re-gates it from the CSV.
+ *
+ * Environment overrides:
+ *   QP_MULTIDIE_TOPO  topology spec (default grid8x8@dies=2x1)
+ *   QP_CUT_WEIGHT     penalty weight for the "on" run (default 2)
+ *   QP_SEED           placement seed (default 1)
+ *
+ * Usage: bench_multidie_quality [out.csv]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "legal/anneal.hpp"
+#include "util/timer.hpp"
+
+namespace qplacer::bench {
+namespace {
+
+struct Run
+{
+    FlowResult result;
+    double seconds = 0.0;
+    double hpwl = 0.0;
+};
+
+Run
+place(const Topology &topo, double cut_weight)
+{
+    FlowParams params;
+    params.mode = PlacerMode::Qplacer;
+    params.partition.segmentUm = 300.0;
+    params.placer.seed = placementSeed();
+    params.placer.threads = 1;
+    params.placer.cutWeight = cut_weight;
+
+    Run run;
+    Timer timer;
+    run.result = QplacerFlow(params).run(topo);
+    run.seconds = timer.seconds();
+    if (run.result.status.ok())
+        run.hpwl = layoutHpwl(run.result.netlist);
+    return run;
+}
+
+int
+run(int argc, char **argv)
+{
+    const char *spec_env = std::getenv("QP_MULTIDIE_TOPO");
+    const std::string spec =
+        spec_env != nullptr ? spec_env : "grid8x8@dies=2x1";
+    const double cut_weight = Config::envDouble("QP_CUT_WEIGHT", 2.0);
+
+    banner("multidie quality: cut penalty off vs. on");
+    std::printf("%s, cutWeight %g, seed %llu\n", spec.c_str(), cut_weight,
+                static_cast<unsigned long long>(placementSeed()));
+
+    Topology topo;
+    std::string error;
+    if (!resolveTopologySpec(spec, topo, &error)) {
+        std::fprintf(stderr, "FAIL: %s\n", error.c_str());
+        return 1;
+    }
+
+    const Run off = place(topo, 0.0);
+    const Run on = place(topo, cut_weight);
+    if (!off.result.status.ok() || !on.result.status.ok()) {
+        std::fprintf(stderr, "FAIL: flow error: %s / %s\n",
+                     off.result.status.message.c_str(),
+                     on.result.status.message.c_str());
+        return 1;
+    }
+
+    const CrossCutMetrics &moff = off.result.multidie;
+    const CrossCutMetrics &mon = on.result.multidie;
+    const bool legal = off.result.legal.legal && on.result.legal.legal;
+    const bool improves = mon.crossingCouplers < moff.crossingCouplers;
+
+    std::printf("cut penalty off: %3d crossings | %10.1f um cut wl | "
+                "hpwl %10.1f um | %6.2fs\n",
+                moff.crossingCouplers, moff.crossingWirelengthUm, off.hpwl,
+                off.seconds);
+    std::printf("cut penalty on:  %3d crossings | %10.1f um cut wl | "
+                "hpwl %10.1f um | %6.2fs\n",
+                mon.crossingCouplers, mon.crossingWirelengthUm, on.hpwl,
+                on.seconds);
+    std::printf("legal %s | crossings %d -> %d (%s)\n", legal ? "yes" : "NO",
+                moff.crossingCouplers, mon.crossingCouplers,
+                improves ? "improves" : "NO IMPROVEMENT");
+
+    if (argc > 1) {
+        CsvWriter csv(argv[1]);
+        csv.header({"topology", "cut_weight", "off_crossings",
+                    "on_crossings", "off_cut_wl_um", "on_cut_wl_um",
+                    "off_hpwl_um", "on_hpwl_um", "off_s", "on_s", "legal",
+                    "improves"});
+        csv.row({CsvWriter::cell(spec), CsvWriter::cell(cut_weight),
+                 CsvWriter::cell(
+                     static_cast<long long>(moff.crossingCouplers)),
+                 CsvWriter::cell(
+                     static_cast<long long>(mon.crossingCouplers)),
+                 CsvWriter::cell(moff.crossingWirelengthUm),
+                 CsvWriter::cell(mon.crossingWirelengthUm),
+                 CsvWriter::cell(off.hpwl), CsvWriter::cell(on.hpwl),
+                 CsvWriter::cell(off.seconds), CsvWriter::cell(on.seconds),
+                 CsvWriter::cell(static_cast<long long>(legal)),
+                 CsvWriter::cell(static_cast<long long>(improves))});
+        std::printf("wrote %s\n", argv[1]);
+    }
+
+    if (!legal) {
+        std::fprintf(stderr, "FAIL: a multi-die layout is not legal\n");
+        return 1;
+    }
+    if (!improves) {
+        std::fprintf(stderr, "FAIL: cut penalty did not strictly reduce "
+                             "crossing couplers\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace qplacer::bench
+
+int
+main(int argc, char **argv)
+{
+    return qplacer::bench::run(argc, argv);
+}

@@ -47,6 +47,11 @@ PlacementObjective::PlacementObjective(const Netlist &netlist,
             netlist, params.detuningThresholdHz,
             params.freqCutoffFactor, pool_);
     }
+    if (params.cutWeight > 0.0 && netlist.dieSpec().active()) {
+        cutPenalty_ = std::make_unique<CutPenaltyModel>(
+            netlist, DiePlan::resolve(netlist.dieSpec(),
+                                      netlist.region()));
+    }
     gammaBase_ = density_.grid().binWidth();
 
     netDegree_.assign(netlist.instances().size(), 0.0);
@@ -80,18 +85,40 @@ PlacementObjective::evaluate(const std::vector<Vec2> &positions,
     } else {
         gradFreq_.assign(positions.size(), Vec2());
     }
+    if (cutPenalty_) {
+        out.cut = cutPenalty_->evaluate(positions, gradCut_);
+        // Same lazy initialization as the frequency force: the penalty
+        // weight is meaningless until some net actually crosses a cut.
+        if (!cutLambdaLive_) {
+            const double cut_norm = l1Norm(pool_, gradCut_);
+            if (cut_norm > 1e-12) {
+                cutLambda_ = params_.cutWeight * l1Norm(pool_, gradWl_) /
+                             cut_norm;
+                cutLambdaInit_ = cutLambda_;
+                cutLambdaLive_ = true;
+            }
+        }
+    }
 
     out.total =
         out.wirelength + lambda_ * out.density + freqLambda_ * out.freq;
+    if (cutPenalty_)
+        out.total += cutLambda_ * out.cut;
 
     gradient.assign(positions.size(), Vec2());
     const auto &instances = netlist_.instances();
+    const bool with_cut = cutPenalty_ != nullptr;
     parallelFor(
         pool_, positions.size(),
         [&](std::size_t begin, std::size_t end) {
             for (std::size_t i = begin; i < end; ++i) {
-                const Vec2 g = gradWl_[i] + gradDen_[i] * lambda_ +
-                               gradFreq_[i] * freqLambda_;
+                Vec2 g = gradWl_[i] + gradDen_[i] * lambda_ +
+                         gradFreq_[i] * freqLambda_;
+                // Guarded so single-die runs combine the exact same FP
+                // expression as before (adding a 0.0 term could still
+                // flip signed zeros).
+                if (with_cut)
+                    g = g + gradCut_[i] * cutLambda_;
                 // Jacobi preconditioner (ePlace): net degree + lambda *
                 // charge.
                 const double h = std::max(
@@ -125,6 +152,18 @@ PlacementObjective::initPenalties(const std::vector<Vec2> &positions)
             freqLambdaLive_ = true;
         }
     }
+
+    cutLambda_ = 0.0;
+    cutLambdaLive_ = false;
+    if (cutPenalty_) {
+        cutPenalty_->evaluate(positions, gradCut_);
+        const double cut_norm = l1Norm(pool_, gradCut_);
+        if (cut_norm > 1e-12) {
+            cutLambda_ = params_.cutWeight * wl_norm / cut_norm;
+            cutLambdaInit_ = cutLambda_;
+            cutLambdaLive_ = true;
+        }
+    }
 }
 
 void
@@ -136,6 +175,11 @@ PlacementObjective::growPenalties()
             freqLambdaInit_ * params_.freqLambdaMaxFactor;
         freqLambda_ =
             std::min(freqLambda_ * params_.freqLambdaGrowth, cap);
+    }
+    if (cutLambdaLive_) {
+        const double cap = cutLambdaInit_ * params_.freqLambdaMaxFactor;
+        cutLambda_ =
+            std::min(cutLambda_ * params_.freqLambdaGrowth, cap);
     }
 }
 

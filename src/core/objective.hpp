@@ -17,6 +17,7 @@
 #include "core/freq_force.hpp"
 #include "core/params.hpp"
 #include "core/wirelength.hpp"
+#include "multidie/cut_penalty.hpp"
 #include "netlist/netlist.hpp"
 
 namespace qplacer {
@@ -40,6 +41,7 @@ class PlacementObjective
         double wirelength = 0.0;
         double density = 0.0;
         double freq = 0.0;
+        double cut = 0.0; ///< Multi-die cut-crossing penalty (else 0).
         double total = 0.0;
     };
 
@@ -70,6 +72,7 @@ class PlacementObjective
 
     double lambda() const { return lambda_; }
     double freqLambda() const { return freqLambda_; }
+    double cutLambda() const { return cutLambda_; }
 
   private:
     const Netlist &netlist_;
@@ -78,6 +81,7 @@ class PlacementObjective
     WirelengthModel wirelength_;
     DensityModel density_;
     std::unique_ptr<FreqForceModel> freqForce_;
+    std::unique_ptr<CutPenaltyModel> cutPenalty_; ///< Active die spec only.
     std::vector<double> netDegree_;
     double gammaBase_;
     double lambda_ = 0.0;
@@ -85,9 +89,13 @@ class PlacementObjective
     bool freqLambdaLive_ = false; ///< Set once the force first activates.
     double freqLambdaInit_ = 0.0;
     double wlGradNorm_ = 0.0;     ///< Reference norm for lazy freq init.
+    double cutLambda_ = 0.0;
+    bool cutLambdaLive_ = false; ///< Set once a net first crosses a cut.
+    double cutLambdaInit_ = 0.0;
     std::vector<Vec2> gradWl_;
     std::vector<Vec2> gradDen_;
     std::vector<Vec2> gradFreq_;
+    std::vector<Vec2> gradCut_;
 };
 
 } // namespace qplacer

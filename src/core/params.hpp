@@ -74,6 +74,16 @@ struct PlacerParams
     double freqLambdaMaxFactor = 300.0;
 
     /**
+     * Multi-die cut-crossing penalty weight (the "multidie.cutWeight"
+     * knob): initial weight of the cut penalty relative to the
+     * wirelength gradient, like freqWeight. 0 disables the term; it is
+     * also inert unless the netlist carries an active die spec. Grows
+     * on the frequency-penalty schedule (freqLambdaGrowth, capped at
+     * freqLambdaMaxFactor x initial).
+     */
+    double cutWeight = 0.0;
+
+    /**
      * Stop early when the density overflow has not improved for this
      * many iterations (the plateau means the penalty equilibrium is
      * reached).

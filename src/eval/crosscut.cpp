@@ -1,0 +1,54 @@
+#include "eval/crosscut.hpp"
+
+#include <cmath>
+
+namespace qplacer {
+
+CrossCutMetrics
+computeCrossCut(const Netlist &netlist, const DiePlan &plan)
+{
+    CrossCutMetrics out;
+    out.active = plan.active();
+    out.dies = plan.spec.numDies();
+    out.dieInstances.assign(plan.dies.size(), 0);
+    out.dieUtilization.assign(plan.dies.size(), 0.0);
+    if (!out.active)
+        return out;
+
+    // Die assignment per instance (center ownership).
+    std::vector<int> die_of(netlist.numInstances(), 0);
+    for (const Instance &inst : netlist.instances()) {
+        const int d = plan.dieAt(inst.pos);
+        die_of[static_cast<std::size_t>(inst.id)] = d;
+        out.dieInstances[static_cast<std::size_t>(d)] += 1;
+        out.dieUtilization[static_cast<std::size_t>(d)] +=
+            inst.paddedArea();
+    }
+    for (std::size_t d = 0; d < plan.dies.size(); ++d) {
+        const double area = plan.dies[d].area();
+        out.dieUtilization[d] =
+            area > 0.0 ? out.dieUtilization[d] / area : 0.0;
+    }
+
+    for (const Resonator &res : netlist.resonators()) {
+        const int qa = netlist.qubitInstance(res.qubitA);
+        const int qb = netlist.qubitInstance(res.qubitB);
+        if (die_of[static_cast<std::size_t>(qa)] !=
+            die_of[static_cast<std::size_t>(qb)])
+            out.crossingCouplers += 1;
+    }
+
+    for (const Net &net : netlist.nets()) {
+        if (die_of[static_cast<std::size_t>(net.a)] ==
+            die_of[static_cast<std::size_t>(net.b)])
+            continue;
+        const Vec2 &pa = netlist.instance(net.a).pos;
+        const Vec2 &pb = netlist.instance(net.b).pos;
+        out.crossingWirelengthUm +=
+            net.weight *
+            (std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y));
+    }
+    return out;
+}
+
+} // namespace qplacer

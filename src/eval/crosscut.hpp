@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Cross-cut evaluation for multi-die layouts: how many couplers cross
+ * a die boundary, how much wirelength the crossings cost, and how the
+ * instances distribute over the dies.
+ */
+
+#ifndef QPLACER_EVAL_CROSSCUT_HPP
+#define QPLACER_EVAL_CROSSCUT_HPP
+
+#include <vector>
+
+#include "multidie/die_plan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace qplacer {
+
+/** Multi-die partition quality of a placed netlist. */
+struct CrossCutMetrics
+{
+    bool active = false; ///< False for single-die layouts (all zeros).
+    int dies = 0;        ///< Die count of the plan.
+
+    /** Couplers whose endpoint qubits sit on different dies. */
+    int crossingCouplers = 0;
+
+    /** Weighted HPWL of the nets whose endpoints sit on different dies. */
+    double crossingWirelengthUm = 0.0;
+
+    /** Instances per die (indexed row-major like DiePlan::dies). */
+    std::vector<int> dieInstances;
+
+    /** Padded-area utilization per die. */
+    std::vector<double> dieUtilization;
+};
+
+/**
+ * Evaluate @p netlist against @p plan. Every instance is attributed to
+ * the die owning its center (DiePlan::dieAt); a coupler crosses a cut
+ * when its two endpoint qubits land on different dies.
+ */
+CrossCutMetrics computeCrossCut(const Netlist &netlist, const DiePlan &plan);
+
+} // namespace qplacer
+
+#endif // QPLACER_EVAL_CROSSCUT_HPP

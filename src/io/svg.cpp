@@ -5,11 +5,21 @@
 #include <fstream>
 #include <sstream>
 
+#include "multidie/die_plan.hpp"
 #include "util/logging.hpp"
 
 namespace qplacer {
 
 namespace {
+
+/** Stable per-die tint (rotating hue, light so freq colours read). */
+std::string
+dieTint(int die)
+{
+    std::ostringstream oss;
+    oss << "hsl(" << (die * 67) % 360 << ",45%,90%)";
+    return oss.str();
+}
 
 /** Map a frequency to a stable colour (hue from position in band). */
 std::string
@@ -56,12 +66,46 @@ layoutSvg(const Netlist &netlist, SvgOptions options)
     svg << "<rect x='0' y='0' width='" << w << "' height='" << h
         << "' fill='#fafafa' stroke='#333'/>\n";
 
+    // Multi-die: tint each die region, outline it, and mark the cut
+    // lines so crossing couplers are visible at a glance.
+    DiePlan plan;
+    const bool multi = netlist.dieSpec().active();
+    if (multi) {
+        plan = DiePlan::resolve(netlist.dieSpec(), region);
+        for (std::size_t d = 0; d < plan.dies.size(); ++d) {
+            const Rect &die = plan.dies[d];
+            svg << "<rect x='" << px(die.lo.x) << "' y='" << py(die.hi.y)
+                << "' width='" << die.width() * s << "' height='"
+                << die.height() * s << "' fill='"
+                << dieTint(static_cast<int>(d))
+                << "' stroke='#666' stroke-dasharray='6,3'/>\n";
+        }
+        for (const CutLine &cut : plan.cuts) {
+            if (cut.vertical) {
+                svg << "<line x1='" << px(cut.coordUm) << "' y1='0' x2='"
+                    << px(cut.coordUm) << "' y2='" << h
+                    << "' stroke='#c22' stroke-width='1.5' "
+                       "stroke-dasharray='8,4'/>\n";
+            } else {
+                svg << "<line x1='0' y1='" << py(cut.coordUm) << "' x2='"
+                    << w << "' y2='" << py(cut.coordUm)
+                    << "' stroke='#c22' stroke-width='1.5' "
+                       "stroke-dasharray='8,4'/>\n";
+            }
+        }
+    }
+
     for (const Instance &inst : netlist.instances()) {
         const Rect r = inst.rect();
         const bool qubit = inst.kind == InstanceKind::Qubit;
         const std::string color =
             qubit ? freqColor(inst.freqHz, qlo, qhi)
                   : freqColor(inst.freqHz, rlo, rhi);
+        const std::string stroke =
+            multi ? "hsl(" +
+                        std::to_string((plan.dieAt(inst.pos) * 67) % 360) +
+                        ",60%,35%)"
+                  : std::string("#333");
         if (options.drawPadding) {
             const Rect p = inst.paddedRect();
             svg << "<rect x='" << px(p.lo.x) << "' y='" << py(p.hi.y)
@@ -73,8 +117,8 @@ layoutSvg(const Netlist &netlist, SvgOptions options)
         svg << "<rect x='" << px(r.lo.x) << "' y='" << py(r.hi.y)
             << "' width='" << r.width() * s << "' height='"
             << r.height() * s << "' fill='" << color << "' fill-opacity='"
-            << (qubit ? 0.9 : 0.55) << "' stroke='#333' stroke-width='"
-            << (qubit ? 1.0 : 0.5) << "'/>\n";
+            << (qubit ? 0.9 : 0.55) << "' stroke='" << stroke
+            << "' stroke-width='" << (qubit ? 1.0 : 0.5) << "'/>\n";
         if (qubit && options.drawLabels) {
             svg << "<text x='" << px(inst.pos.x) << "' y='"
                 << py(inst.pos.y) << "' font-size='"

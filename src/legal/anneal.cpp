@@ -83,14 +83,22 @@ class Walk
     Walk(Netlist &netlist, const DetailedPlaceParams &params,
          const HotspotParams &hotspot, double cell_um)
         : netlist_(netlist), params_(params), hotspot_(hotspot),
-          grid_(netlist.region(), cell_um)
+          grid_(netlist.region(), cell_um),
+          multi_(netlist.dieSpec().active())
     {
+        if (multi_)
+            plan_ = DiePlan::resolve(netlist.dieSpec(), netlist.region());
     }
 
     /** Occupy every padded footprint; false if the input is not legal. */
     bool
     build()
     {
+        // Cut gaps first: an input straddling a gap fails the canPlace
+        // below exactly like any other illegality and we hand off.
+        if (multi_)
+            for (const Rect &band : plan_.gapBands())
+                grid_.block(band);
         const auto &instances = netlist_.instances();
         for (const Instance &inst : instances) {
             if (!grid_.canPlace(inst.paddedRect()))
@@ -233,6 +241,8 @@ class Walk
     const DetailedPlaceParams &params_;
     const HotspotParams &hotspot_;
     OccupancyGrid grid_;
+    bool multi_;   ///< Active multi-die partition?
+    DiePlan plan_; ///< Resolved when multi_.
     std::vector<std::vector<int>> incident_; ///< Net ids per instance.
     std::vector<int> group_;                 ///< Footprint group id.
     std::vector<std::vector<int>> groups_;   ///< Members per group.
@@ -365,6 +375,12 @@ DetailedPlacer::refine(Netlist &netlist, std::uint64_t seed,
                 const Vec2 target = walk.grid_.snapCenter(
                     Vec2(inst.pos.x + dx, inst.pos.y + dy), pw, ph);
                 if (target.x == inst.pos.x && target.y == inst.pos.y)
+                    continue;
+                // A relocation never changes a die assignment: reject
+                // cross-die drifts (an explicit swap is the only move
+                // that exchanges die membership).
+                if (walk.multi_ && walk.plan_.dieAt(target) !=
+                                       walk.plan_.dieAt(inst.pos))
                     continue;
                 if (!walk.grid_.canPlaceIgnoring(
                         Rect::fromCenter(target, pw, ph), i))

@@ -25,6 +25,17 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
     OccupancyGrid grid(netlist.region(), params_.cellUm);
     grid.setProbeEngine(params_.probeEngine);
 
+    // Multi-die: resolve the partition against the *current* region
+    // (it may have grown between attempts) and reserve the cut gaps
+    // before anything is placed -- no footprint can straddle a cut.
+    DiePlan plan;
+    const bool multi = netlist.dieSpec().active();
+    if (multi) {
+        plan = DiePlan::resolve(netlist.dieSpec(), netlist.region());
+        for (const Rect &band : plan.gapBands())
+            grid.block(band);
+    }
+
     // --- Stage 1: qubits (greedy spiral, central-first order). ---
     Timer stage_timer;
     const Vec2 center = netlist.region().center();
@@ -45,11 +56,29 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
     for (int q = 0; q < netlist.numQubits(); ++q)
         desired[q] = netlist.instance(q).pos;
 
+    // The qubit's die is decided by its global-placement position; the
+    // spiral then never legalizes it across a cut.
+    std::vector<int> die_of;
+    if (multi) {
+        die_of.resize(netlist.numQubits());
+        for (int q = 0; q < netlist.numQubits(); ++q)
+            die_of[q] = plan.dieAt(desired[q]);
+    }
+
     for (int q : qubit_order) {
         Instance &inst = netlist.instance(q);
         const double w = inst.paddedWidth();
         const double h = inst.paddedHeight();
-        const auto spot = spiralSearch(grid, inst.pos, w, h);
+        std::optional<Vec2> spot;
+        if (multi) {
+            const Rect die = plan.dies[die_of[q]].inflated(1e-6);
+            spot = spiralSearchFiltered(
+                grid, inst.pos, w, h, [&](Vec2 c) {
+                    return die.containsRect(Rect::fromCenter(c, w, h));
+                });
+        } else {
+            spot = spiralSearch(grid, inst.pos, w, h);
+        }
         if (!spot)
             return false;
         inst.pos = *spot;
@@ -58,18 +87,42 @@ Legalizer::attempt(Netlist &netlist, LegalizeResult &result,
     result.spiralSeconds = stage_timer.seconds();
 
     // --- Stage 1b: min-cost-flow refinement over the pooled sites. ---
+    // Multi-die pools per die: sites and demands of the same die only,
+    // so the assignment cannot migrate a qubit across a cut.
     stage_timer.reset();
     if (params_.flowRefine && netlist.numQubits() > 1) {
-        std::vector<Vec2> sites(netlist.numQubits());
-        for (int q = 0; q < netlist.numQubits(); ++q)
-            sites[q] = netlist.instance(q).pos;
         FlowRefineOptions options;
         options.sparseThreshold = params_.flowSparseThreshold;
         options.neighbors = params_.flowSparseNeighbors;
-        const std::vector<int> assign =
-            refineAssignment(desired, sites, options);
-        for (int q = 0; q < netlist.numQubits(); ++q)
-            netlist.instance(q).pos = sites[assign[q]];
+        if (!multi) {
+            std::vector<Vec2> sites(netlist.numQubits());
+            for (int q = 0; q < netlist.numQubits(); ++q)
+                sites[q] = netlist.instance(q).pos;
+            const std::vector<int> assign =
+                refineAssignment(desired, sites, options);
+            for (int q = 0; q < netlist.numQubits(); ++q)
+                netlist.instance(q).pos = sites[assign[q]];
+        } else {
+            for (int d = 0; d < plan.spec.numDies(); ++d) {
+                std::vector<int> group;
+                for (int q = 0; q < netlist.numQubits(); ++q)
+                    if (die_of[q] == d)
+                        group.push_back(q);
+                if (group.size() < 2)
+                    continue;
+                std::vector<Vec2> want, sites;
+                want.reserve(group.size());
+                sites.reserve(group.size());
+                for (int q : group) {
+                    want.push_back(desired[q]);
+                    sites.push_back(netlist.instance(q).pos);
+                }
+                const std::vector<int> assign =
+                    refineAssignment(want, sites, options);
+                for (std::size_t i = 0; i < group.size(); ++i)
+                    netlist.instance(group[i]).pos = sites[assign[i]];
+            }
+        }
     }
     for (int q = 0; q < netlist.numQubits(); ++q) {
         result.qubitDisplacementUm +=
@@ -119,10 +172,21 @@ Legalizer::attemptScoped(Netlist &netlist,
     // demote it to movable (whole resonator for segments, so chains
     // stay whole) and rebuild the occupancy. Conflicts are rare, so
     // the restart loop almost never iterates.
+    // Multi-die: cut gaps are reserved before the fixed obstacles go
+    // in. A stale-prior fixed instance overlapping a gap simply fails
+    // canPlace below and is demoted to movable like any conflict.
+    DiePlan plan;
+    const bool multi = netlist.dieSpec().active();
+    if (multi)
+        plan = DiePlan::resolve(netlist.dieSpec(), netlist.region());
+
     OccupancyGrid grid(netlist.region(), params_.cellUm);
     for (int restart = 0;; ++restart) {
         grid = OccupancyGrid(netlist.region(), params_.cellUm);
         grid.setProbeEngine(params_.probeEngine);
+        if (multi)
+            for (const Rect &band : plan.gapBands())
+                grid.block(band);
         int conflict = -1;
         for (int i = 0; i < netlist.numInstances(); ++i) {
             if (is_movable[i])
@@ -173,11 +237,28 @@ Legalizer::attemptScoped(Netlist &netlist,
     for (int q : movable_qubits)
         desired.push_back(netlist.instance(q).pos);
 
+    // Die assignment of each movable qubit, from its warm position.
+    std::vector<int> die_of;
+    if (multi) {
+        die_of.assign(netlist.numQubits(), 0);
+        for (int q : movable_qubits)
+            die_of[q] = plan.dieAt(netlist.instance(q).pos);
+    }
+
     for (int q : qubit_order) {
         Instance &inst = netlist.instance(q);
         const double w = inst.paddedWidth();
         const double h = inst.paddedHeight();
-        const auto spot = spiralSearch(grid, inst.pos, w, h);
+        std::optional<Vec2> spot;
+        if (multi) {
+            const Rect die = plan.dies[die_of[q]].inflated(1e-6);
+            spot = spiralSearchFiltered(
+                grid, inst.pos, w, h, [&](Vec2 c) {
+                    return die.containsRect(Rect::fromCenter(c, w, h));
+                });
+        } else {
+            spot = spiralSearch(grid, inst.pos, w, h);
+        }
         if (!spot)
             return false;
         inst.pos = *spot;
@@ -188,17 +269,42 @@ Legalizer::attemptScoped(Netlist &netlist,
     // --- Stage 1b: flow refinement over the movable sites only. ---
     stage_timer.reset();
     if (params_.flowRefine && movable_qubits.size() > 1) {
-        std::vector<Vec2> sites;
-        sites.reserve(movable_qubits.size());
-        for (int q : movable_qubits)
-            sites.push_back(netlist.instance(q).pos);
         FlowRefineOptions options;
         options.sparseThreshold = params_.flowSparseThreshold;
         options.neighbors = params_.flowSparseNeighbors;
-        const std::vector<int> assign =
-            refineAssignment(desired, sites, options);
-        for (std::size_t i = 0; i < movable_qubits.size(); ++i)
-            netlist.instance(movable_qubits[i]).pos = sites[assign[i]];
+        if (!multi) {
+            std::vector<Vec2> sites;
+            sites.reserve(movable_qubits.size());
+            for (int q : movable_qubits)
+                sites.push_back(netlist.instance(q).pos);
+            const std::vector<int> assign =
+                refineAssignment(desired, sites, options);
+            for (std::size_t i = 0; i < movable_qubits.size(); ++i)
+                netlist.instance(movable_qubits[i]).pos =
+                    sites[assign[i]];
+        } else {
+            for (int d = 0; d < plan.spec.numDies(); ++d) {
+                std::vector<std::size_t> group;
+                for (std::size_t i = 0; i < movable_qubits.size(); ++i)
+                    if (die_of[movable_qubits[i]] == d)
+                        group.push_back(i);
+                if (group.size() < 2)
+                    continue;
+                std::vector<Vec2> want, sites;
+                want.reserve(group.size());
+                sites.reserve(group.size());
+                for (std::size_t i : group) {
+                    want.push_back(desired[i]);
+                    sites.push_back(
+                        netlist.instance(movable_qubits[i]).pos);
+                }
+                const std::vector<int> assign =
+                    refineAssignment(want, sites, options);
+                for (std::size_t i = 0; i < group.size(); ++i)
+                    netlist.instance(movable_qubits[group[i]]).pos =
+                        sites[assign[i]];
+            }
+        }
     }
     for (std::size_t i = 0; i < movable_qubits.size(); ++i) {
         result.qubitDisplacementUm +=

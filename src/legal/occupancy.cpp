@@ -74,7 +74,9 @@ OccupancyGrid::inRegion(const Rect &rect) const
 bool
 OccupancyGrid::canPlace(const Rect &rect) const
 {
-    return canPlaceIgnoring(rect, -2);
+    // -1 as the "ignore nothing" sentinel: owner -1 cells are free
+    // anyway, and it can never alias kBlockedOwner.
+    return canPlaceIgnoring(rect, -1);
 }
 
 bool
@@ -163,7 +165,7 @@ OccupancyGrid::spanFreeScan(const CellSpan &s, std::int32_t ignore_id) const
         for (int ix = s.x0; ix <= s.x1; ++ix) {
             const std::int32_t o =
                 owner_[static_cast<std::size_t>(iy) * nx_ + ix];
-            if (o >= 0 && o != ignore_id)
+            if (o != -1 && o != ignore_id)
                 return false;
         }
     }
@@ -217,10 +219,30 @@ OccupancyGrid::occupy(const Rect &rect, std::int32_t id)
                 continue;
             std::int32_t &o =
                 owner_[static_cast<std::size_t>(iy) * nx_ + ix];
-            if (o >= 0)
+            if (o != -1)
                 panic(str("OccupancyGrid::occupy: overlap at cell (", ix,
                           ", ", iy, ") owned by ", o));
             o = id;
+            occ_[static_cast<std::size_t>(iy) * wordsPerRow_ + ix / 64] |=
+                std::uint64_t(1) << (ix & 63);
+        }
+    }
+    refreshSummary(s);
+}
+
+void
+OccupancyGrid::block(const Rect &rect)
+{
+    const CellSpan s = spanOf(rect);
+    for (int iy = std::max(0, s.y0); iy <= std::min(ny_ - 1, s.y1); ++iy) {
+        for (int ix = std::max(0, s.x0); ix <= std::min(nx_ - 1, s.x1);
+             ++ix) {
+            std::int32_t &o =
+                owner_[static_cast<std::size_t>(iy) * nx_ + ix];
+            if (o >= 0)
+                panic(str("OccupancyGrid::block: cell (", ix, ", ", iy,
+                          ") owned by instance ", o));
+            o = kBlockedOwner;
             occ_[static_cast<std::size_t>(iy) * wordsPerRow_ + ix / 64] |=
                 std::uint64_t(1) << (ix & 63);
         }
@@ -287,7 +309,7 @@ OccupancyGrid::ownersIn(const Rect &rect) const
                 const std::int32_t o =
                     owner_[static_cast<std::size_t>(iy) * nx_ + w * 64 +
                            b];
-                if (out.empty() || out.back() != o)
+                if (o >= 0 && (out.empty() || out.back() != o))
                     out.push_back(o);
             }
         }
@@ -336,7 +358,7 @@ OccupancyGrid::ownersIn(const Rect &rect,
                 const std::int32_t o =
                     owner_[static_cast<std::size_t>(iy) * nx_ + w * 64 +
                            b];
-                if (out.empty() || out.back() != o)
+                if (o >= 0 && (out.empty() || out.back() != o))
                     out.push_back(o);
             }
         }

@@ -43,6 +43,14 @@ enum class ProbeEngine
     Reference,
 };
 
+/**
+ * Owner id of cells reserved by block() (multi-die cut gaps). Distinct
+ * from -1 (free) and from any instance id, and never matched by a
+ * non-negative ignore id, so every placement probe rejects blocked
+ * cells naturally.
+ */
+constexpr std::int32_t kBlockedOwner = -2;
+
 /** Grid of ownership cells over the placement region. */
 class OccupancyGrid
 {
@@ -70,6 +78,14 @@ class OccupancyGrid
 
     /** Mark @p rect as owned by @p id. panics on overlap. */
     void occupy(const Rect &rect, std::int32_t id);
+
+    /**
+     * Reserve the cells of @p rect as kBlockedOwner (keep-out, e.g. a
+     * multi-die cut gap). Cells already owned by an instance panic;
+     * out-of-grid parts are clipped. Blocked cells are never returned
+     * by ownersIn() and no ignore id frees them.
+     */
+    void block(const Rect &rect);
 
     /** Release cells of @p rect owned by @p id. */
     void release(const Rect &rect, std::int32_t id);

@@ -1,0 +1,158 @@
+#include "multidie/die_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+namespace {
+
+/** Positive integer from [begin, end); false on any non-digit. */
+bool
+parsePositiveInt(const std::string &text, std::size_t begin,
+                 std::size_t end, int &out)
+{
+    if (begin >= end)
+        return false;
+    long v = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const char c = text[i];
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + (c - '0');
+        if (v > 4096)
+            return false; // Far past any plausible die grid.
+    }
+    out = static_cast<int>(v);
+    return v >= 1;
+}
+
+bool
+failSpec(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+parseDieSpec(const std::string &text, DieSpec &out, std::string *error)
+{
+    DieSpec spec;
+    std::string dims = text;
+    const std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        dims = text.substr(0, colon);
+        const std::string opt = text.substr(colon + 1);
+        const std::string key = "cutGapUm=";
+        if (opt.rfind(key, 0) != 0)
+            return failSpec(error, "bad die spec '" + text +
+                                       "': expected RxC[:cutGapUm=N]");
+        const std::string value = opt.substr(key.size());
+        if (value.empty())
+            return failSpec(error, "bad die spec '" + text +
+                                       "': empty cutGapUm value");
+        char *end = nullptr;
+        const double gap = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size() || !(gap > 0.0) ||
+            !std::isfinite(gap))
+            return failSpec(error, "bad die spec '" + text +
+                                       "': cutGapUm must be a positive "
+                                       "number");
+        spec.cutGapUm = gap;
+    }
+
+    const std::size_t x = dims.find('x');
+    if (x == std::string::npos ||
+        !parsePositiveInt(dims, 0, x, spec.rows) ||
+        !parsePositiveInt(dims, x + 1, dims.size(), spec.cols))
+        return failSpec(error, "bad die spec '" + text +
+                                   "': expected <rows>x<cols> with "
+                                   "positive dimensions");
+    out = spec;
+    return true;
+}
+
+DiePlan
+DiePlan::resolve(const DieSpec &spec, const Rect &region)
+{
+    DiePlan plan;
+    plan.spec = spec;
+    plan.region = region;
+
+    const int rows = spec.rows;
+    const int cols = spec.cols;
+    const double gap = spec.cutGapUm;
+    const double die_w = (region.width() - (cols - 1) * gap) / cols;
+    const double die_h = (region.height() - (rows - 1) * gap) / rows;
+    if (die_w <= 0.0 || die_h <= 0.0)
+        panic(str("DiePlan: region ", region.width(), " x ",
+                  region.height(), " um cannot fit ", rows, "x", cols,
+                  " dies with ", gap, " um cut gaps"));
+
+    plan.dies.reserve(static_cast<std::size_t>(rows) * cols);
+    for (int r = 0; r < rows; ++r) {
+        const double y0 = region.lo.y + r * (die_h + gap);
+        for (int c = 0; c < cols; ++c) {
+            const double x0 = region.lo.x + c * (die_w + gap);
+            plan.dies.emplace_back(x0, y0, x0 + die_w, y0 + die_h);
+        }
+    }
+    for (int c = 0; c + 1 < cols; ++c) {
+        CutLine cut;
+        cut.vertical = true;
+        cut.coordUm = region.lo.x + (c + 1) * die_w + c * gap + gap / 2.0;
+        plan.cuts.push_back(cut);
+    }
+    for (int r = 0; r + 1 < rows; ++r) {
+        CutLine cut;
+        cut.vertical = false;
+        cut.coordUm = region.lo.y + (r + 1) * die_h + r * gap + gap / 2.0;
+        plan.cuts.push_back(cut);
+    }
+    return plan;
+}
+
+int
+DiePlan::dieAt(Vec2 p) const
+{
+    int best = 0;
+    double best_dist = -1.0;
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+        const Rect &die = dies[d];
+        const double dx =
+            std::max({die.lo.x - p.x, 0.0, p.x - die.hi.x});
+        const double dy =
+            std::max({die.lo.y - p.y, 0.0, p.y - die.hi.y});
+        const double dist = dx * dx + dy * dy;
+        if (best_dist < 0.0 || dist < best_dist) {
+            best_dist = dist;
+            best = static_cast<int>(d);
+        }
+    }
+    return best;
+}
+
+std::vector<Rect>
+DiePlan::gapBands() const
+{
+    std::vector<Rect> bands;
+    const double gap = spec.cutGapUm;
+    for (const CutLine &cut : cuts) {
+        if (cut.vertical) {
+            bands.emplace_back(cut.coordUm - gap / 2.0, region.lo.y,
+                               cut.coordUm + gap / 2.0, region.hi.y);
+        } else {
+            bands.emplace_back(region.lo.x, cut.coordUm - gap / 2.0,
+                               region.hi.x, cut.coordUm + gap / 2.0);
+        }
+    }
+    return bands;
+}
+
+} // namespace qplacer

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-die (chiplet) device partition model.
+ *
+ * A DieSpec describes a rows x cols grid of dies separated by straight
+ * cut gaps (the interposer channels inter-die couplers cross); it is
+ * carried symbolically on Topology and Netlist. A DiePlan is the spec
+ * resolved against a concrete placement region: per-die rectangles,
+ * cut lines, and the gap bands no footprint may occupy. Resolution is
+ * on demand (DiePlan::resolve) so geometry follows region growth --
+ * the legalizer's retry loop re-resolves instead of caching stale
+ * rectangles.
+ *
+ * A 1x1 spec is *inactive*: every consumer skips its multi-die code
+ * path entirely, keeping single-die flows bitwise-identical to a build
+ * without any die spec at all.
+ */
+
+#ifndef QPLACER_MULTIDIE_DIE_PLAN_HPP
+#define QPLACER_MULTIDIE_DIE_PLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace qplacer {
+
+/** Symbolic device partition: a rows x cols die grid with cut gaps. */
+struct DieSpec
+{
+    int rows = 1;
+    int cols = 1;
+
+    /** Width of the cut gap between adjacent dies (um). */
+    double cutGapUm = 800.0;
+
+    /** True when the device actually has more than one die. */
+    bool active() const { return rows * cols > 1; }
+
+    /** Total die count. */
+    int numDies() const { return rows * cols; }
+};
+
+/**
+ * Parse the "@dies=" suffix payload of a topology spec:
+ * "RxC" or "RxC:cutGapUm=N" (e.g. "2x1:cutGapUm=800"). On failure
+ * returns false with a message in @p error (if non-null).
+ */
+bool parseDieSpec(const std::string &text, DieSpec &out,
+                  std::string *error = nullptr);
+
+/** One straight cut through the device (the center line of a gap). */
+struct CutLine
+{
+    bool vertical = true; ///< Vertical cut: separates columns (x = coord).
+    double coordUm = 0.0; ///< Cut position on the crossing axis.
+};
+
+/** A DieSpec resolved against a concrete placement region. */
+struct DiePlan
+{
+    DieSpec spec;
+    Rect region;
+    std::vector<Rect> dies;     ///< Row-major (row * cols + col).
+    std::vector<CutLine> cuts;  ///< (cols - 1) vertical + (rows - 1) horiz.
+
+    /**
+     * Carve @p region into the spec's die grid. The gaps consume
+     * (cols - 1) * cutGapUm of width and (rows - 1) * cutGapUm of
+     * height; what remains is split evenly between the dies. panics if
+     * the region cannot fit the gaps.
+     */
+    static DiePlan resolve(const DieSpec &spec, const Rect &region);
+
+    /** True when this plan partitions into more than one die. */
+    bool active() const { return spec.active(); }
+
+    /**
+     * Index of the die owning @p p: the die whose rectangle is nearest
+     * (ties broken toward the lower index). Points inside a gap band
+     * belong to the closer die, so a global-placement position may
+     * always be mapped to an assignment.
+     */
+    int dieAt(Vec2 p) const;
+
+    /**
+     * The gap bands between adjacent dies -- the exclusion rects the
+     * legalizer blocks so no footprint ever straddles a cut.
+     */
+    std::vector<Rect> gapBands() const;
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_MULTIDIE_DIE_PLAN_HPP

@@ -203,6 +203,10 @@ bitwiseSameNetlist(const Netlist &a, const Netlist &b)
         a.nets().size() != b.nets().size() ||
         a.resonators().size() != b.resonators().size())
         return false;
+    if (a.dieSpec().rows != b.dieSpec().rows ||
+        a.dieSpec().cols != b.dieSpec().cols ||
+        !sameBits(a.dieSpec().cutGapUm, b.dieSpec().cutGapUm))
+        return false;
     if (!sameBits(a.region().lo.x, b.region().lo.x) ||
         !sameBits(a.region().lo.y, b.region().lo.y) ||
         !sameBits(a.region().hi.x, b.region().hi.x) ||

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geometry/rect.hpp"
+#include "multidie/die_plan.hpp"
 
 namespace qplacer {
 
@@ -138,6 +139,16 @@ class Netlist
     /** Set an explicit region. */
     void setRegion(const Rect &region) { region_ = region; }
 
+    /**
+     * Device partition this netlist is placed under (BuildStage copies
+     * it from the topology). Symbolic on purpose: consumers resolve a
+     * DiePlan against the *current* region so the geometry follows
+     * legalizer region growth. The default 1x1 spec is inactive and
+     * every multi-die code path is skipped outright.
+     */
+    const DieSpec &dieSpec() const { return dieSpec_; }
+    void setDieSpec(const DieSpec &spec) { dieSpec_ = spec; }
+
     /** Instance id of topology qubit @p qubit_id. */
     int qubitInstance(int qubit_id) const;
 
@@ -158,6 +169,7 @@ class Netlist
     std::vector<Net> nets_;
     std::vector<Resonator> resonators_;
     Rect region_;
+    DieSpec dieSpec_;
     int numQubits_ = 0;
 };
 

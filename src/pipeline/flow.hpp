@@ -25,6 +25,7 @@
 #include "baseline/human_placer.hpp"
 #include "core/placer.hpp"
 #include "eval/area.hpp"
+#include "eval/crosscut.hpp"
 #include "eval/hotspot.hpp"
 #include "freq/assigner.hpp"
 #include "legal/anneal.hpp"
@@ -177,6 +178,7 @@ struct FlowResult
     LegalizeResult legal; ///< Legalization stats (not for Human).
     AreaMetrics area;
     HotspotReport hotspots;
+    CrossCutMetrics multidie; ///< Cross-cut metrics (inactive on 1 die).
     FlowStatus status;    ///< Structured outcome (Ok / error / cancelled).
     IncrementalStats incremental; ///< Warm-start diagnostics, if any.
     DetailedStats detailed;       ///< Detailed-placement stats, if run.

@@ -58,6 +58,18 @@ class BuildStage final : public FlowStage
             builder.build(*ctx.topo, ctx.result.freqs,
                           ctx.params.targetUtil, ctx.pool,
                           &ctx.result.buildStats);
+        // Multi-die only: widen the region by the cut gaps (so per-die
+        // usable area matches the single-die total) and record the
+        // partition on the netlist. Inactive specs leave the netlist
+        // bitwise-identical to the pre-multidie build.
+        const DieSpec &dies = ctx.topo->dies;
+        if (dies.active()) {
+            Rect region = ctx.result.netlist.region();
+            region.hi.x += (dies.cols - 1) * dies.cutGapUm;
+            region.hi.y += (dies.rows - 1) * dies.cutGapUm;
+            ctx.result.netlist.setRegion(region);
+            ctx.result.netlist.setDieSpec(dies);
+        }
     }
 };
 
@@ -154,6 +166,12 @@ class MetricsStage final : public FlowStage
         ctx.result.area = computeArea(ctx.result.netlist);
         ctx.result.hotspots =
             analyzeHotspots(ctx.result.netlist, ctx.params.hotspot);
+        if (ctx.result.netlist.dieSpec().active()) {
+            ctx.result.multidie = computeCrossCut(
+                ctx.result.netlist,
+                DiePlan::resolve(ctx.result.netlist.dieSpec(),
+                                 ctx.result.netlist.region()));
+        }
         if (ctx.logging) {
             inform(str(placerModeName(ctx.params.mode), " flow on ",
                        ctx.topo->name,

@@ -13,6 +13,7 @@
 #include "circuits/subsets.hpp"
 #include "core/placer.hpp"
 #include "eval/area.hpp"
+#include "eval/crosscut.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/fidelity.hpp"
 #include "eval/hotspot.hpp"
@@ -22,6 +23,8 @@
 #include "io/meander.hpp"
 #include "io/svg.hpp"
 #include "legal/legalizer.hpp"
+#include "multidie/cut_penalty.hpp"
+#include "multidie/die_plan.hpp"
 #include "netlist/builder.hpp"
 #include "physics/boxmode.hpp"
 #include "physics/capacitance.hpp"

@@ -190,6 +190,33 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
             req.dirtyQubits.push_back(static_cast<int>(v));
         }
     }
+
+    if (const JsonValue *dirty = doc.find("dirty_couplers")) {
+        if (req.baseId.empty())
+            return failParse(error,
+                             "'dirty_couplers' requires a 'base' job id");
+        if (!dirty->isArray())
+            return failParse(error, "'dirty_couplers' must be an array of "
+                                    "[qubit_a, qubit_b] pairs");
+        for (const JsonValue &item : dirty->items()) {
+            if (!item.isArray() || item.items().size() != 2)
+                return failParse(error,
+                                 "'dirty_couplers' must be an array of "
+                                 "[qubit_a, qubit_b] pairs");
+            int pair[2];
+            for (int k = 0; k < 2; ++k) {
+                const JsonValue &endp = item.items()[static_cast<
+                    std::size_t>(k)];
+                if (!endp.isNumber() ||
+                    !isSmallNonNegativeInt(endp.asDouble()))
+                    return failParse(
+                        error, "'dirty_couplers' endpoints must be "
+                               "non-negative integers");
+                pair[k] = static_cast<int>(endp.asDouble());
+            }
+            req.dirtyCouplers.emplace_back(pair[0], pair[1]);
+        }
+    }
     return true;
 }
 
@@ -489,6 +516,28 @@ jobReportJson(const FlowResult &r, std::uint64_t seed)
                       JsonValue::numberLiteral(std::to_string(p.winnerSeed)));
         portfolio.set("candidates", std::move(candidates));
         job.set("portfolio", std::move(portfolio));
+    }
+
+    if (r.multidie.active) {
+        const CrossCutMetrics &m = r.multidie;
+        JsonValue dies = JsonValue::array();
+        for (std::size_t d = 0; d < m.dieInstances.size(); ++d) {
+            JsonValue die = JsonValue::object();
+            die.set("instances", JsonValue::number(static_cast<
+                                     std::int64_t>(m.dieInstances[d])));
+            die.set("utilization", JsonValue::number(m.dieUtilization[d]));
+            dies.push(std::move(die));
+        }
+        JsonValue multidie = JsonValue::object();
+        multidie.set("dies",
+                     JsonValue::number(static_cast<std::int64_t>(m.dies)));
+        multidie.set("crossing_couplers",
+                     JsonValue::number(static_cast<std::int64_t>(
+                         m.crossingCouplers)));
+        multidie.set("crossing_wl_um",
+                     JsonValue::number(m.crossingWirelengthUm));
+        multidie.set("per_die", std::move(dies));
+        job.set("multidie", std::move(multidie));
     }
 
     if (r.incremental.incremental) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pipeline/flow.hpp"
@@ -50,6 +51,13 @@ struct SubmitRequest
 
     /** Delta for incremental runs: qubits whose neighbourhood changed. */
     std::vector<int> dirtyQubits;
+
+    /**
+     * Delta for incremental runs: couplers whose wiring changed, as
+     * [qubit_a, qubit_b] endpoint pairs. The server folds both
+     * endpoints into the dirty-qubit closure.
+     */
+    std::vector<std::pair<int, int>> dirtyCouplers;
 
     /**
      * Multi-start portfolio (the optional "portfolio" submit object):

@@ -302,6 +302,12 @@ PlacementServer::runJob(int worker_index, Job &job)
     if (prior) {
         NetlistDelta delta;
         delta.dirtyQubits = req.dirtyQubits;
+        // A dirtied coupler dirties both endpoint qubits; the delta
+        // closure picks up the resonator chain between them.
+        for (const auto &coupler : req.dirtyCouplers) {
+            delta.dirtyQubits.push_back(coupler.first);
+            delta.dirtyQubits.push_back(coupler.second);
+        }
         result = session.runIncremental(*topo, params, *prior, delta);
     } else if (req.isPortfolio()) {
         if (req.portfolioPruneAt > 0)

@@ -37,6 +37,65 @@ parseSpecDims(const std::string &tail, int &a, int &b)
            b > 0;
 }
 
+bool
+failWith(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+/**
+ * Resolve @p base (a die-suffix-free spec); error messages quote the
+ * original @p spec the caller received.
+ */
+bool
+resolveBaseSpec(const std::string &base, const std::string &spec,
+                Topology &out, std::string *error)
+{
+    const std::string lower = toLowerCopy(base);
+    for (const std::string &name : paperTopologyNames()) {
+        if (lower == toLowerCopy(name)) {
+            out = makeTopology(name);
+            return true;
+        }
+    }
+    if (lower == "grid25") {
+        out = makeTopology("Grid25");
+        return true;
+    }
+
+    int a = 0;
+    int b = 0;
+    const auto dims_of = [&](std::size_t prefix_len) {
+        if (parseSpecDims(lower.substr(prefix_len), a, b))
+            return true;
+        return failWith(error, "bad topology spec '" + spec +
+                                   "': expected <rows>x<cols>");
+    };
+    if (lower.rfind("grid", 0) == 0) {
+        if (!dims_of(4))
+            return false;
+        out = makeGrid(a, b);
+        return true;
+    }
+    if (lower.rfind("heavyhex", 0) == 0) {
+        if (!dims_of(8))
+            return false;
+        out = makeHeavyHex(a, b);
+        return true;
+    }
+    if (lower.rfind("octagon", 0) == 0) {
+        if (!dims_of(7))
+            return false;
+        out = makeOctagon(a, b);
+        return true;
+    }
+    return failWith(error, "unknown topology '" + spec +
+                               "' (try a paper device name, gridRxC, "
+                               "heavyhexRxW, or octagonRxC)");
+}
+
 } // namespace
 
 Topology
@@ -67,51 +126,31 @@ bool
 resolveTopologySpec(const std::string &spec, Topology &out,
                     std::string *error)
 {
-    const std::string lower = toLowerCopy(spec);
-    for (const std::string &name : paperTopologyNames()) {
-        if (lower == toLowerCopy(name)) {
-            out = makeTopology(name);
-            return true;
-        }
-    }
-    if (lower == "grid25") {
-        out = makeTopology("Grid25");
-        return true;
+    // "@dies=RxC[:cutGapUm=N]" composes a multi-die partition with any
+    // base spec (paper name or parametric generator): strip the suffix,
+    // resolve the base exactly as before, then attach the die spec.
+    std::string base = spec;
+    DieSpec dies;
+    const std::size_t at = spec.find("@dies=");
+    if (at != std::string::npos) {
+        std::string die_error;
+        if (!parseDieSpec(spec.substr(at + 6), dies, &die_error))
+            return failWith(error, die_error);
+        base = spec.substr(0, at);
+        if (base.empty())
+            return failWith(error, "bad topology spec '" + spec +
+                                       "': missing base topology before "
+                                       "'@dies='");
     }
 
-    int a = 0;
-    int b = 0;
-    const auto dims_of = [&](std::size_t prefix_len) {
-        if (parseSpecDims(lower.substr(prefix_len), a, b))
-            return true;
-        if (error)
-            *error = "bad topology spec '" + spec +
-                     "': expected <rows>x<cols>";
+    if (!resolveBaseSpec(base, spec, out, error))
         return false;
-    };
-    if (lower.rfind("grid", 0) == 0) {
-        if (!dims_of(4))
-            return false;
-        out = makeGrid(a, b);
-        return true;
+    out.dies = dies;
+    if (dies.active()) {
+        out.description += str(" [", dies.rows, "x", dies.cols, " dies, ",
+                               dies.cutGapUm, " um cut gap]");
     }
-    if (lower.rfind("heavyhex", 0) == 0) {
-        if (!dims_of(8))
-            return false;
-        out = makeHeavyHex(a, b);
-        return true;
-    }
-    if (lower.rfind("octagon", 0) == 0) {
-        if (!dims_of(7))
-            return false;
-        out = makeOctagon(a, b);
-        return true;
-    }
-    if (error)
-        *error = "unknown topology '" + spec +
-                 "' (try a paper device name, gridRxC, heavyhexRxW, or "
-                 "octagonRxC)";
-    return false;
+    return true;
 }
 
 } // namespace qplacer

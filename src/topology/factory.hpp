@@ -25,9 +25,12 @@ std::vector<std::string> paperTopologyNames();
 /**
  * Resolve a user-facing topology spec: a paper device name
  * (case-insensitive) or a parametric gridRxC / heavyhexRxW /
- * octagonRxC spec (e.g. "grid8x8"). Shared by the CLI and the server.
- * Returns false with a message in @p error (if non-null) on unknown
- * or malformed specs instead of fatal()ing.
+ * octagonRxC spec (e.g. "grid8x8"). Any base spec composes with a
+ * multi-die suffix "@dies=RxC[:cutGapUm=N]" (e.g.
+ * "grid32x32@dies=2x1:cutGapUm=800"); "dies=1x1" is the single-die
+ * flow, bit for bit. Shared by the CLI and the server. Returns false
+ * with a message in @p error (if non-null) on unknown or malformed
+ * specs instead of fatal()ing.
  */
 bool resolveTopologySpec(const std::string &spec, Topology &out,
                          std::string *error = nullptr);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geometry/vec2.hpp"
+#include "multidie/die_plan.hpp"
 #include "topology/graph.hpp"
 
 namespace qplacer {
@@ -25,6 +26,13 @@ struct Topology
     std::string description; ///< Free-form provenance note.
     Graph coupling;          ///< Qubit coupling graph.
     std::vector<Vec2> embedding; ///< Reference position per qubit.
+
+    /**
+     * Device partition ("@dies=RxC[:cutGapUm=N]" spec suffix). The
+     * default 1x1 spec is inactive: the flow behaves exactly as if no
+     * die plan existed.
+     */
+    DieSpec dies;
 
     /** Number of qubits. */
     int numQubits() const { return coupling.numNodes(); }

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * DieSpec parsing (good and malformed), DiePlan geometry resolution,
+ * die assignment, gap bands, and the "@dies=" topology-spec suffix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "multidie/die_plan.hpp"
+#include "topology/factory.hpp"
+
+namespace qplacer {
+namespace {
+
+TEST(DieSpec, DefaultIsInactive)
+{
+    const DieSpec spec;
+    EXPECT_FALSE(spec.active());
+    EXPECT_EQ(spec.numDies(), 1);
+}
+
+TEST(DieSpec, ParsesDimensions)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("2x1", spec));
+    EXPECT_EQ(spec.rows, 2);
+    EXPECT_EQ(spec.cols, 1);
+    EXPECT_DOUBLE_EQ(spec.cutGapUm, 800.0);
+    EXPECT_TRUE(spec.active());
+
+    ASSERT_TRUE(parseDieSpec("1x1", spec));
+    EXPECT_FALSE(spec.active());
+
+    ASSERT_TRUE(parseDieSpec("3x4", spec));
+    EXPECT_EQ(spec.numDies(), 12);
+}
+
+TEST(DieSpec, ParsesCutGapOption)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("2x2:cutGapUm=512.5", spec));
+    EXPECT_EQ(spec.rows, 2);
+    EXPECT_EQ(spec.cols, 2);
+    EXPECT_DOUBLE_EQ(spec.cutGapUm, 512.5);
+}
+
+TEST(DieSpec, RejectsMalformedSpecs)
+{
+    DieSpec spec;
+    std::string error;
+    const char *bad[] = {
+        "",          "2",          "2x",          "x2",
+        "0x2",       "2x0",        "-1x2",        "axb",
+        "2x2x2",     "2x1:",       "2x1:gap=3",   "2x1:cutGapUm=",
+        "2x1:cutGapUm=abc",        "2x1:cutGapUm=-5",
+        "2x1:cutGapUm=0",          "2x1:cutGapUm=1e999",
+        "99999x1",
+    };
+    for (const char *text : bad) {
+        error.clear();
+        EXPECT_FALSE(parseDieSpec(text, spec, &error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(DiePlan, ResolvesTwoColumnGeometry)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("1x2:cutGapUm=200", spec));
+    const Rect region(0.0, 0.0, 2200.0, 1000.0);
+    const DiePlan plan = DiePlan::resolve(spec, region);
+
+    ASSERT_EQ(plan.dies.size(), 2u);
+    // (2200 - 200) / 2 = 1000 um per die.
+    EXPECT_DOUBLE_EQ(plan.dies[0].lo.x, 0.0);
+    EXPECT_DOUBLE_EQ(plan.dies[0].hi.x, 1000.0);
+    EXPECT_DOUBLE_EQ(plan.dies[1].lo.x, 1200.0);
+    EXPECT_DOUBLE_EQ(plan.dies[1].hi.x, 2200.0);
+    EXPECT_DOUBLE_EQ(plan.dies[0].lo.y, 0.0);
+    EXPECT_DOUBLE_EQ(plan.dies[0].hi.y, 1000.0);
+
+    ASSERT_EQ(plan.cuts.size(), 1u);
+    EXPECT_TRUE(plan.cuts[0].vertical);
+    EXPECT_DOUBLE_EQ(plan.cuts[0].coordUm, 1100.0);
+
+    const auto bands = plan.gapBands();
+    ASSERT_EQ(bands.size(), 1u);
+    EXPECT_DOUBLE_EQ(bands[0].lo.x, 1000.0);
+    EXPECT_DOUBLE_EQ(bands[0].hi.x, 1200.0);
+    EXPECT_DOUBLE_EQ(bands[0].lo.y, 0.0);
+    EXPECT_DOUBLE_EQ(bands[0].hi.y, 1000.0);
+}
+
+TEST(DiePlan, ResolvesGridGeometry)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("2x2:cutGapUm=100", spec));
+    const DiePlan plan =
+        DiePlan::resolve(spec, Rect(0.0, 0.0, 2100.0, 2100.0));
+    ASSERT_EQ(plan.dies.size(), 4u);
+    ASSERT_EQ(plan.cuts.size(), 2u); // One vertical, one horizontal.
+    EXPECT_EQ(plan.gapBands().size(), 2u);
+    // Row-major: die 1 is row 0, col 1.
+    EXPECT_DOUBLE_EQ(plan.dies[1].lo.x, 1100.0);
+    EXPECT_DOUBLE_EQ(plan.dies[1].lo.y, 0.0);
+    EXPECT_DOUBLE_EQ(plan.dies[2].lo.x, 0.0);
+    EXPECT_DOUBLE_EQ(plan.dies[2].lo.y, 1100.0);
+}
+
+TEST(DiePlan, ResolvePanicsWhenGapsExceedRegion)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("1x4:cutGapUm=400", spec));
+    EXPECT_THROW(DiePlan::resolve(spec, Rect(0.0, 0.0, 1200.0, 1000.0)),
+                 std::logic_error);
+}
+
+TEST(DiePlan, DieAtMapsGapPointsToNearestDie)
+{
+    DieSpec spec;
+    ASSERT_TRUE(parseDieSpec("1x2:cutGapUm=200", spec));
+    const DiePlan plan =
+        DiePlan::resolve(spec, Rect(0.0, 0.0, 2200.0, 1000.0));
+
+    EXPECT_EQ(plan.dieAt(Vec2(500.0, 500.0)), 0);
+    EXPECT_EQ(plan.dieAt(Vec2(1700.0, 500.0)), 1);
+    // Inside the gap band: nearest die wins.
+    EXPECT_EQ(plan.dieAt(Vec2(1010.0, 500.0)), 0);
+    EXPECT_EQ(plan.dieAt(Vec2(1190.0, 500.0)), 1);
+    // Dead center ties toward the lower index.
+    EXPECT_EQ(plan.dieAt(Vec2(1100.0, 500.0)), 0);
+    // Out of region entirely: still mapped (clamped distance).
+    EXPECT_EQ(plan.dieAt(Vec2(-50.0, 500.0)), 0);
+    EXPECT_EQ(plan.dieAt(Vec2(9999.0, 500.0)), 1);
+}
+
+TEST(TopologySpec, DiesSuffixComposesWithGenerators)
+{
+    Topology topo;
+    std::string error;
+    ASSERT_TRUE(
+        resolveTopologySpec("grid4x4@dies=2x1:cutGapUm=600", topo, &error))
+        << error;
+    EXPECT_EQ(topo.numQubits(), 16);
+    EXPECT_EQ(topo.dies.rows, 2);
+    EXPECT_EQ(topo.dies.cols, 1);
+    EXPECT_DOUBLE_EQ(topo.dies.cutGapUm, 600.0);
+}
+
+TEST(TopologySpec, DiesSuffixComposesWithPaperDevices)
+{
+    Topology topo;
+    ASSERT_TRUE(resolveTopologySpec("falcon@dies=1x2", topo, nullptr));
+    EXPECT_TRUE(topo.dies.active());
+    EXPECT_EQ(topo.dies.cols, 2);
+}
+
+TEST(TopologySpec, SingleDieSuffixIsInactive)
+{
+    Topology plain, suffixed;
+    ASSERT_TRUE(resolveTopologySpec("grid4x4", plain, nullptr));
+    ASSERT_TRUE(resolveTopologySpec("grid4x4@dies=1x1", suffixed, nullptr));
+    EXPECT_FALSE(suffixed.dies.active());
+    EXPECT_EQ(plain.name, suffixed.name);
+}
+
+TEST(TopologySpec, MalformedDiesSuffixIsAnError)
+{
+    Topology topo;
+    std::string error;
+    EXPECT_FALSE(resolveTopologySpec("grid4x4@dies=", topo, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(resolveTopologySpec("grid4x4@dies=2", topo, &error));
+    EXPECT_FALSE(resolveTopologySpec("grid4x4@dies=0x2", topo, &error));
+    EXPECT_FALSE(
+        resolveTopologySpec("grid4x4@dies=2x1:cutGapUm=-1", topo, &error));
+    EXPECT_FALSE(resolveTopologySpec("@dies=2x1", topo, &error));
+}
+
+} // namespace
+} // namespace qplacer

@@ -164,6 +164,25 @@ TEST(Protocol, ParsesFullSubmit)
     EXPECT_EQ(req.submit.dirtyQubits[1], 3);
 }
 
+TEST(Protocol, ParsesDirtyCouplers)
+{
+    Request req;
+    std::string error;
+    ASSERT_TRUE(parseRequest(
+        R"({"type":"submit","id":"j3","topology":"grid3x3",)"
+        R"("base":"j1","dirty_qubits":[7],)"
+        R"("dirty_couplers":[[0,3],[4,5]]})",
+        req, &error))
+        << error;
+    EXPECT_TRUE(req.submit.isIncremental());
+    ASSERT_EQ(req.submit.dirtyQubits.size(), 1u);
+    ASSERT_EQ(req.submit.dirtyCouplers.size(), 2u);
+    EXPECT_EQ(req.submit.dirtyCouplers[0].first, 0);
+    EXPECT_EQ(req.submit.dirtyCouplers[0].second, 3);
+    EXPECT_EQ(req.submit.dirtyCouplers[1].first, 4);
+    EXPECT_EQ(req.submit.dirtyCouplers[1].second, 5);
+}
+
 TEST(Protocol, ParsesControlRequests)
 {
     Request req;
@@ -205,6 +224,12 @@ TEST(Protocol, RejectsMalformedRequests)
         R"({"type":"submit","id":"x","topology":"g","dirty_qubits":[1]})",
         R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_qubits":[-1]})",
         R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_qubits":[1e10]})",
+        R"({"type":"submit","id":"x","topology":"g","dirty_couplers":[[0,1]]})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_couplers":7})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_couplers":[[0]]})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_couplers":[[0,1,2]]})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_couplers":[[0,-1]]})",
+        R"({"type":"submit","id":"x","topology":"g","base":"y","dirty_couplers":[[0,1.5]]})",
         R"({"type":"cancel"})",                           // cancel w/o id
     };
     for (const char *line : bad) {
@@ -257,6 +282,32 @@ TEST(Protocol, JobReportCarriesStatusAndIncremental)
     // The CLI-only fidelity proxy is reported as null over the wire.
     ASSERT_NE(report.find("fidelity"), nullptr);
     EXPECT_TRUE(report.find("fidelity")->isNull());
+    // Single-die: no multidie block at all.
+    EXPECT_EQ(report.find("multidie"), nullptr);
+}
+
+TEST(Protocol, JobReportCarriesMultidieBlock)
+{
+    FlowResult result;
+    result.multidie.active = true;
+    result.multidie.dies = 2;
+    result.multidie.crossingCouplers = 5;
+    result.multidie.crossingWirelengthUm = 1234.5;
+    result.multidie.dieInstances = {10, 12};
+    result.multidie.dieUtilization = {0.5, 0.625};
+    const JsonValue report = jobReportJson(result, 1);
+
+    const JsonValue *multidie = report.find("multidie");
+    ASSERT_NE(multidie, nullptr);
+    EXPECT_EQ(multidie->find("dies")->asInt(), 2);
+    EXPECT_EQ(multidie->find("crossing_couplers")->asInt(), 5);
+    EXPECT_DOUBLE_EQ(multidie->find("crossing_wl_um")->asDouble(), 1234.5);
+    const JsonValue *per_die = multidie->find("per_die");
+    ASSERT_NE(per_die, nullptr);
+    ASSERT_EQ(per_die->items().size(), 2u);
+    EXPECT_EQ(per_die->items()[0].find("instances")->asInt(), 10);
+    EXPECT_DOUBLE_EQ(
+        per_die->items()[1].find("utilization")->asDouble(), 0.625);
 }
 
 } // namespace

@@ -535,6 +535,20 @@ printReportJson(std::ostream &os, const Topology &topo,
            << "},\n";
         // Additive members, mirroring jobReportJson: present only when
         // the corresponding stage actually ran.
+        if (r.multidie.active) {
+            os << "      \"multidie\": {\"dies\": " << r.multidie.dies
+               << ", \"crossing_couplers\": "
+               << r.multidie.crossingCouplers << ", \"crossing_wl_um\": "
+               << jsonNum(r.multidie.crossingWirelengthUm)
+               << ", \"per_die\": [";
+            for (std::size_t d = 0; d < r.multidie.dieInstances.size();
+                 ++d) {
+                os << (d ? ", " : "") << "{\"instances\": "
+                   << r.multidie.dieInstances[d] << ", \"utilization\": "
+                   << jsonNum(r.multidie.dieUtilization[d]) << "}";
+            }
+            os << "]},\n";
+        }
         if (r.detailed.ran) {
             os << "      \"detailed\": {\"sweeps\": " << r.detailed.sweeps
                << ", \"proposed\": " << r.detailed.proposed
