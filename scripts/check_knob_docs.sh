@@ -41,6 +41,29 @@ while IFS= read -r key; do
 done <<<"$keys"
 echo "checked $count --set keys against $building"
 
+# Every qplacer_server CLI flag must be documented in BUILDING.md.
+server_main=tools/qplacer_server.cpp
+if [[ ! -f "$server_main" ]]; then
+    echo "FAIL: $server_main not found" >&2
+    exit 1
+fi
+flags=$(sed -n 's/.*arg == "\(--[a-z-]*\)".*/\1/p' "$server_main" |
+    grep -v -e '^--help$' | sort -u)
+if [[ -z "$flags" ]]; then
+    echo "FAIL: could not extract server flags from $server_main" >&2
+    exit 1
+fi
+count=0
+while IFS= read -r flag; do
+    count=$((count + 1))
+    # Accept both bare `--flag` and `--flag ARG` spellings.
+    if ! grep -q -F -e "\`$flag\`" -e "\`$flag " "$building"; then
+        echo "FAIL: server flag '$flag' is not documented in $building" >&2
+        fail=1
+    fi
+done <<<"$flags"
+echo "checked $count server flags against $building"
+
 # The documentation set itself, each linked from BUILDING.md.
 for doc in docs/ARCHITECTURE.md docs/PROTOCOL.md docs/REPORT_SCHEMA.md; do
     if [[ ! -f "$doc" ]]; then

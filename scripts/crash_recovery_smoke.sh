@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: a real SIGKILL (no failpoints) against a live
+# qplacer_server with --state-dir, then a restart that re-places the
+# killed run's job incrementally from the persisted prior.
+#
+#  1. Start the daemon on a FIFO, submit a job, wait for its result
+#     (the ack + result imply the prior is journaled and fsync'd).
+#  2. kill -9 the daemon: no shutdown handler runs, nothing flushes.
+#  3. Restart over the same state dir, submit an empty-delta re-place
+#     with base = the killed run's job, and require "reused_prior":true
+#     plus a bitwise-identical layout.
+#
+# Usage: scripts/crash_recovery_smoke.sh <path-to-qplacer_server>
+
+set -eu
+
+server="${1:?usage: crash_recovery_smoke.sh <path-to-qplacer_server>}"
+
+work="$(mktemp -d)"
+state="$work/state"
+fifo="$work/requests.fifo"
+out1="$work/run1.ndjson"
+out2="$work/run2.ndjson"
+pid=""
+
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+submit='{"type":"submit","id":"base","topology":"grid4x4","seed":7,"set":{"placer.maxIters":150},"layout":true}'
+redo='{"type":"submit","id":"redo","topology":"grid4x4","seed":7,"set":{"placer.maxIters":150},"layout":true,"base":"base"}'
+
+wait_for() { # wait_for <file> <pattern>
+    for _ in $(seq 1 600); do
+        if grep -q "$2" "$1" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: timed out waiting for '$2' in $1" >&2
+    cat "$1" >&2 || true
+    return 1
+}
+
+# --- Run 1: serve one job, then die by SIGKILL. ---
+mkfifo "$fifo"
+"$server" --workers 1 --quiet --state-dir "$state" <"$fifo" >"$out1" &
+pid=$!
+# Hold the FIFO's write end open for the daemon's whole life.
+exec 3>"$fifo"
+printf '%s\n' "$submit" >&3
+wait_for "$out1" '"type":"result".*"id":"base"'
+if ! grep -q '"code":"ok"' "$out1"; then
+    echo "FAIL: job did not finish ok" >&2
+    cat "$out1" >&2
+    exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+exec 3>&-
+rm -f "$fifo"
+echo "run 1: job served, daemon SIGKILLed"
+
+base_layout="$(grep '"id":"base"' "$out1" | grep '"type":"result"' |
+    sed 's/.*"layout"://')"
+if [[ -z "$base_layout" ]]; then
+    echo "FAIL: run 1 result carries no layout" >&2
+    exit 1
+fi
+
+# --- Run 2: restart, re-place incrementally from the persisted prior. ---
+printf '%s\n%s\n' "$redo" '{"type":"shutdown"}' |
+    "$server" --workers 1 --quiet --state-dir "$state" >"$out2"
+if ! grep -q '"reused_prior":true' "$out2"; then
+    echo "FAIL: restarted daemon did not reuse the persisted prior" >&2
+    cat "$out2" >&2
+    exit 1
+fi
+redo_layout="$(grep '"id":"redo"' "$out2" | grep '"type":"result"' |
+    sed 's/.*"layout"://')"
+if [[ "$redo_layout" != "$base_layout" ]]; then
+    echo "FAIL: recovered layout diverged from the pre-kill one" >&2
+    exit 1
+fi
+echo "run 2: prior recovered after SIGKILL, layout bitwise identical"
+echo "crash-recovery smoke OK"

@@ -35,6 +35,14 @@ enum class FlowCode
     InvalidParams, ///< FlowParams failed validation; nothing ran.
     Cancelled,     ///< A CancelToken stopped the run mid-flow.
     StageError,    ///< A stage failed (e.g. legalization ran out of room).
+
+    /**
+     * The job's deadline expired and the serving layer stopped it via
+     * its CancelToken. Mechanically identical to Cancelled inside the
+     * flow; reported distinctly so a client can tell an operator-
+     * enforced timeout from its own cancel request.
+     */
+    DeadlineExceeded,
 };
 
 /** Human-readable FlowCode name. */

@@ -25,6 +25,8 @@ flowCodeName(FlowCode code)
         return "cancelled";
       case FlowCode::StageError:
         return "stage_error";
+      case FlowCode::DeadlineExceeded:
+        return "deadline_exceeded";
     }
     return "?";
 }

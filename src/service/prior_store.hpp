@@ -1,0 +1,148 @@
+/**
+ * @file
+ * PriorStore: the server's bounded LRU store of finished layouts
+ * (PriorLayout), optionally made crash-safe on disk.
+ *
+ * In-memory behaviour is exactly what PlacementServer shipped with:
+ * a capacity-bounded map keyed by job id where every get() or re-put()
+ * promotes the id, and the least-recently-used entry is evicted first.
+ *
+ * With a state directory configured, the store survives daemon
+ * restarts and `kill -9`:
+ *
+ *  - every put() appends one NDJSON record to `priors.journal`,
+ *    carrying a CRC-32 of its payload, and fsyncs it before the caller
+ *    proceeds -- so a layout is durable before the job's result is
+ *    emitted (an *acked* prior is always recoverable);
+ *  - every `snapshotEvery` appends, the journal is compacted: the full
+ *    store is written to `priors.snapshot.tmp` (LRU order, oldest
+ *    first), fsynced, atomically renamed over `priors.snapshot`, the
+ *    directory fsynced, and the journal truncated;
+ *  - on startup the snapshot is loaded first, then the journal is
+ *    replayed on top. A torn tail -- a partial line from a crash
+ *    mid-write, or a record whose CRC does not match -- truncates the
+ *    journal at the last good record; everything before it loads.
+ *
+ * Record format (one JSON object per line):
+ *
+ *   {"crc":<crc32 of the serialized "put" object>,"put":{
+ *     "id":"...","region":[x0,y0,x1,y1],"n":<instances>,
+ *     "qubits":[[qubit,x,y,freqHz],...],
+ *     "segments":[[qubitA,qubitB,ordinal,x,y,freqHz],...]}}
+ *
+ * Doubles serialize through JsonValue::number's shortest-round-trip
+ * literal, so a reloaded layout is bitwise-identical to the captured
+ * one -- the property the crash-recovery suite asserts.
+ *
+ * Failpoint sites (util/failpoint.hpp): `prior_store.append` after a
+ * journal record is written+synced, `prior_store.snapshot` after the
+ * snapshot temp file is written but *before* the atomic rename, and
+ * `prior_store.load` at startup. Injected errors degrade gracefully
+ * (the store keeps serving from memory); crashes exercise recovery.
+ *
+ * Thread-safe: all public methods lock internally.
+ */
+
+#ifndef QPLACER_SERVICE_PRIOR_STORE_HPP
+#define QPLACER_SERVICE_PRIOR_STORE_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/incremental.hpp"
+#include "service/json.hpp"
+
+namespace qplacer {
+
+/** PriorStore configuration. */
+struct PriorStoreOptions
+{
+    /** Entries kept; least-recently-used evicted beyond this. */
+    int capacity = 64;
+
+    /**
+     * Directory for the journal + snapshot pair; created if missing.
+     * Empty keeps the store memory-only (the pre-existing behaviour).
+     */
+    std::string stateDir;
+
+    /** Journal appends between snapshot compactions. */
+    int snapshotEvery = 32;
+};
+
+/** Bounded LRU PriorLayout store; see the file header for contract. */
+class PriorStore
+{
+  public:
+    /** Opens (and replays) the state directory when one is set. */
+    explicit PriorStore(PriorStoreOptions options = {});
+
+    /** Closes the journal (already durable; nothing else to flush). */
+    ~PriorStore();
+
+    PriorStore(const PriorStore &) = delete;
+    PriorStore &operator=(const PriorStore &) = delete;
+
+    /**
+     * Insert or update @p id (promoting it to most-recently-used) and,
+     * when persistent, journal it durably before returning. A
+     * persistence failure (injected or real) is logged and leaves the
+     * in-memory store correct -- serving degrades, it does not stop.
+     */
+    void put(const std::string &id,
+             std::shared_ptr<const PriorLayout> prior);
+
+    /** Lookup by job id, promoting on hit; null when absent. */
+    std::shared_ptr<const PriorLayout> get(const std::string &id);
+
+    /** Entries currently held. */
+    int size() const;
+
+    /** Ids in LRU order, oldest (next to evict) first. */
+    std::vector<std::string> ids() const;
+
+    /** Records loaded from disk at construction (tests/logging). */
+    int loadedFromDisk() const { return loaded_; }
+
+    /** Serialize one prior as the "put" record payload (no CRC). */
+    static JsonValue priorToJson(const std::string &id,
+                                 const PriorLayout &prior);
+
+    /**
+     * Parse a "put" payload back into an id + layout; false with a
+     * message on a malformed record.
+     */
+    static bool priorFromJson(const JsonValue &payload, std::string &id,
+                              PriorLayout &prior, std::string *error);
+
+  private:
+    void putLocked(const std::string &id,
+                   std::shared_ptr<const PriorLayout> prior);
+    void promoteLocked(const std::string &id);
+    /** Append one durable record; true once it is written + fsync'd. */
+    bool appendJournalLocked(const std::string &id,
+                             const PriorLayout &prior);
+    void snapshotLocked();
+    void loadLocked();
+
+    /** Replay one NDJSON file; returns bytes of the valid prefix. */
+    long replayFileLocked(const std::string &path, bool truncate_torn);
+
+    PriorStoreOptions options_;
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const PriorLayout>> priors_;
+    std::deque<std::string> order_; ///< Front = evict next.
+    int appendsSinceSnapshot_ = 0;
+    int loaded_ = 0;
+    int journalFd_ = -1;         ///< Open append fd; -1 = memory-only.
+    bool persistBroken_ = false; ///< Persistence failed; warn once.
+};
+
+} // namespace qplacer
+
+#endif // QPLACER_SERVICE_PRIOR_STORE_HPP

@@ -121,6 +121,14 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
         req.progressEvery = static_cast<int>(v);
     }
 
+    if (const JsonValue *deadline = doc.find("deadline_ms")) {
+        if (!deadline->isNumber() || !(deadline->asDouble() > 0.0) ||
+            !(deadline->asDouble() <= 1e9))
+            return failParse(error, "'deadline_ms' must be a positive "
+                                    "number of milliseconds (<= 1e9)");
+        req.deadlineMs = deadline->asDouble();
+    }
+
     if (const JsonValue *layout = doc.find("layout")) {
         if (!layout->isBool())
             return failParse(error, "'layout' must be a boolean");
@@ -220,6 +228,38 @@ parseSubmit(const JsonValue &doc, Request &out, std::string *error)
     return true;
 }
 
+/** Parse {"type":"failpoint","site":...,"action":...[,"ms":N]}. */
+bool
+parseFailpoint(const JsonValue &doc, Request &out, std::string *error)
+{
+    const JsonValue *site = doc.find("site");
+    if (!site || !site->isString() || site->asString().empty())
+        return failParse(error, "failpoint requires a string 'site'");
+    out.failpointSite = site->asString();
+
+    const JsonValue *action = doc.find("action");
+    if (!action || !action->isString())
+        return failParse(error, "failpoint requires a string 'action' "
+                                "(off|error|crash|delay)");
+    const std::string &name = action->asString();
+    if (name == "off" || name == "error" || name == "crash") {
+        out.failpointSpec = name;
+        return true;
+    }
+    if (name == "delay") {
+        const JsonValue *ms = doc.find("ms");
+        if (!ms || !ms->isNumber() || !isSmallNonNegativeInt(ms->asDouble()))
+            return failParse(error, "failpoint action 'delay' requires a "
+                                    "non-negative integer 'ms'");
+        out.failpointSpec =
+            "delay(" + std::to_string(static_cast<int>(ms->asDouble())) +
+            ")";
+        return true;
+    }
+    return failParse(error, str("unknown failpoint action '", name,
+                                "' (expected off|error|crash|delay)"));
+}
+
 } // namespace
 
 bool
@@ -266,9 +306,13 @@ parseRequest(const std::string &line, Request &out, std::string *error)
             return failParse(error, "submit requires a string 'id'");
         return parseSubmit(doc, out, error);
     }
+    if (name == "failpoint") {
+        out.type = Request::Type::Failpoint;
+        return parseFailpoint(doc, out, error);
+    }
     return failParse(error, str("unknown request type '", name,
                                 "' (expected submit|cancel|ping|"
-                                "shutdown)"));
+                                "shutdown|failpoint)"));
 }
 
 JsonValue
@@ -302,10 +346,44 @@ makeError(const std::string &id, const std::string &message)
 }
 
 JsonValue
+makeErrorCode(const std::string &id, const std::string &code,
+              const std::string &message)
+{
+    JsonValue v = makeError(id, message);
+    v.set("code", JsonValue::string(code));
+    return v;
+}
+
+JsonValue
+makeOverloaded(const std::string &id, int queue_depth,
+               double retry_after_ms)
+{
+    JsonValue v = makeErrorCode(
+        id, "overloaded",
+        str("queue is full (", queue_depth,
+            " jobs waiting); retry after backoff"));
+    v.set("queue_depth",
+          JsonValue::number(static_cast<std::int64_t>(queue_depth)));
+    v.set("retry_after_ms", JsonValue::number(retry_after_ms));
+    return v;
+}
+
+JsonValue
 makePong()
 {
     JsonValue v = JsonValue::object();
     v.set("type", JsonValue::string("pong"));
+    return v;
+}
+
+JsonValue
+makePong(int queue_depth, int active_jobs)
+{
+    JsonValue v = makePong();
+    v.set("queue_depth",
+          JsonValue::number(static_cast<std::int64_t>(queue_depth)));
+    v.set("active_jobs",
+          JsonValue::number(static_cast<std::int64_t>(active_jobs)));
     return v;
 }
 

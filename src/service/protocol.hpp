@@ -43,6 +43,15 @@ struct SubmitRequest
      */
     int progressEvery = -1;
 
+    /**
+     * Job deadline in milliseconds of *execution* time (the clock
+     * starts when a worker picks the job up, not while it queues).
+     * 0 = no per-job deadline; the server's --default-deadline-ms
+     * applies instead, when set. On expiry the server cancels the job
+     * and its result reports status "deadline_exceeded".
+     */
+    double deadlineMs = 0.0;
+
     /** Include the placed instance positions in the result. */
     bool wantLayout = false;
 
@@ -76,11 +85,21 @@ struct SubmitRequest
 /** Any parsed request. */
 struct Request
 {
-    enum class Type { Submit, Cancel, Ping, Shutdown };
+    enum class Type { Submit, Cancel, Ping, Shutdown, Failpoint };
 
     Type type = Type::Ping;
     std::string id;       ///< Job id (submit / cancel).
     SubmitRequest submit; ///< Valid when type == Submit.
+
+    /**
+     * Fault-injection request (type == Failpoint): arm @p
+     * failpointSite with @p failpointSpec ("off" | "error" | "crash" |
+     * "delay(N)"). Honored only when the server runs with
+     * --enable-failpoints; rejected with code "failpoints_disabled"
+     * otherwise.
+     */
+    std::string failpointSite;
+    std::string failpointSpec;
 };
 
 /**
@@ -99,8 +118,36 @@ JsonValue makeAck(const std::string &id);
 /** {"type":"error"} -- request rejected or job failed to start. */
 JsonValue makeError(const std::string &id, const std::string &message);
 
+/**
+ * {"type":"error","code":...} -- a machine-readable error class on
+ * top of makeError. Codes in use: "overloaded" (queue full),
+ * "shutting_down" (submit after shutdown was accepted),
+ * "line_too_long" (request exceeded --max-line-bytes),
+ * "failpoints_disabled" (failpoint request without
+ * --enable-failpoints), "injected" (a failpoint Error action fired).
+ * See docs/PROTOCOL.md's error-code table.
+ */
+JsonValue makeErrorCode(const std::string &id, const std::string &code,
+                        const std::string &message);
+
+/**
+ * The "overloaded" rejection for a bounded queue: a makeErrorCode
+ * carrying "queue_depth" (jobs waiting) and "retry_after_ms" (an
+ * EWMA-of-service-time estimate of when capacity frees up) so clients
+ * can back off intelligently.
+ */
+JsonValue makeOverloaded(const std::string &id, int queue_depth,
+                         double retry_after_ms);
+
 /** {"type":"pong"} -- liveness answer. */
 JsonValue makePong();
+
+/**
+ * {"type":"pong","queue_depth":...,"active_jobs":...} -- liveness
+ * plus load: jobs waiting in the queue and jobs currently running,
+ * so clients can back off before submitting into an overload.
+ */
+JsonValue makePong(int queue_depth, int active_jobs);
 
 /** {"type":"bye"} -- shutdown complete after draining @p jobs jobs. */
 JsonValue makeBye(int jobs);

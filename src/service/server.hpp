@@ -5,12 +5,35 @@
  * One server owns a pool of worker threads, each wrapping its own warm
  * PlacementSession (thread pools and spectral-plan caches stay alive
  * across jobs), a FIFO job queue, a parsed-topology cache, and a
- * bounded store of finished layouts (PriorLayout) that incremental
+ * bounded store of finished layouts (PriorStore) that incremental
  * requests reference by job id. Transport is someone else's problem:
  * the server consumes request lines (handleLine) and emits response
  * JsonValues through a caller-supplied sink, so the same engine serves
  * stdin/stdout, a Unix socket (tools/qplacer_server.cpp), an
  * in-process loopback (tests), or a bench driver.
+ *
+ * Production hardening (all off by default; defaults reproduce the
+ * original behaviour byte-for-byte):
+ *
+ *  - ServerOptions::stateDir makes the prior store crash-safe: acked
+ *    layouts are journaled + fsynced before the result is emitted and
+ *    replayed on restart (prior_store.hpp has the on-disk contract).
+ *  - ServerOptions::maxQueue bounds the queue; beyond it submits are
+ *    rejected with a structured "overloaded" error carrying the queue
+ *    depth and an EWMA-of-service-time retry hint.
+ *  - Per-job deadlines ("deadline_ms" on submit, or
+ *    ServerOptions::defaultDeadlineMs): a monitor thread cancels the
+ *    job when its *execution* clock expires and the result reports
+ *    status "deadline_exceeded" (distinct from a client cancel). If
+ *    the worker has not stopped stuckGraceMs after the deadline fired
+ *    a watchdog logs the stage/iteration it is stuck in.
+ *  - Shutdown flips the server to non-accepting first, so a submit
+ *    racing a shutdown gets a deterministic "shutting_down" error
+ *    instead of a job that may never report.
+ *  - Failpoint sites (util/failpoint.hpp) at queue admission, worker
+ *    pickup, prior capture, and response emission; armed only via
+ *    QPLACER_FAILPOINTS / the "failpoint" request behind
+ *    ServerOptions::enableFailpoints.
  *
  * Determinism contract: with workers > 1 every job is forced to
  * placer.threads = 1, exactly like PlacementSession::runBatch, so a
@@ -22,6 +45,8 @@
 #ifndef QPLACER_SERVICE_SERVER_HPP
 #define QPLACER_SERVICE_SERVER_HPP
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -33,6 +58,7 @@
 #include <vector>
 
 #include "pipeline/session.hpp"
+#include "service/prior_store.hpp"
 #include "service/protocol.hpp"
 #include "topology/topology.hpp"
 
@@ -57,6 +83,43 @@ struct ServerOptions
      * cheap), so any recent job id can serve as a "base".
      */
     int resultCacheCap = 64;
+
+    /**
+     * Crash-safe prior persistence: directory for the journal +
+     * snapshot pair (created if missing), replayed on startup. Empty
+     * (the default) keeps the store memory-only.
+     */
+    std::string stateDir;
+
+    /** Journal appends between snapshot compactions (with stateDir). */
+    int snapshotEvery = 32;
+
+    /**
+     * Queue bound: submits beyond this many waiting jobs are rejected
+     * with the "overloaded" error. 0 (default) = unbounded.
+     */
+    int maxQueue = 0;
+
+    /**
+     * Deadline applied to jobs that do not carry their own
+     * "deadline_ms", in milliseconds of execution time. 0 (default) =
+     * none.
+     */
+    double defaultDeadlineMs = 0.0;
+
+    /**
+     * Watchdog grace: if a deadline-cancelled job is still running
+     * this long after its token fired, log the stage/iteration it is
+     * stuck in (a stage that does not poll its CancelToken).
+     */
+    double stuckGraceMs = 2000.0;
+
+    /**
+     * Honor "failpoint" protocol requests. Off by default; the
+     * transport (qplacer_server --enable-failpoints) also gates the
+     * QPLACER_FAILPOINTS environment variable on this.
+     */
+    bool enableFailpoints = false;
 
     /** Base flow parameters; per-request fields and "set" override. */
     FlowParams defaults;
@@ -86,8 +149,15 @@ class PlacementServer
      */
     bool handleLine(const std::string &line, const ResponseSink &sink);
 
-    /** Queue a parsed job; acks immediately, result arrives via sink. */
-    void submit(const SubmitRequest &request, ResponseSink sink);
+    /**
+     * Admit a parsed job: on acceptance emits the ack and queues it
+     * (the result arrives later via @p sink) and returns true; on
+     * rejection emits a structured error ("overloaded" past maxQueue,
+     * "shutting_down" after shutdown began, "injected" under the
+     * queue-admission failpoint) and returns false. The ack is
+     * guaranteed to precede every other response of the job.
+     */
+    bool submit(const SubmitRequest &request, ResponseSink sink);
 
     /**
      * Cancel a queued or running job. Queued jobs report a cancelled
@@ -102,8 +172,17 @@ class PlacementServer
     /** Jobs fully processed so far (including cancelled ones). */
     int jobsCompleted() const;
 
+    /** Jobs waiting in the queue right now. */
+    int queueDepth() const;
+
+    /** Jobs currently executing on workers. */
+    int activeJobs() const;
+
     /** Resolved worker count. */
     int workers() const { return static_cast<int>(workers_.size()); }
+
+    /** The layout store (tests inspect persistence state). */
+    PriorStore &priorStore() { return *priors_; }
 
   private:
     struct Job
@@ -118,9 +197,19 @@ class PlacementServer
         std::unique_ptr<PlacementSession> session;
         std::thread thread;
         std::string runningId; ///< Guarded by mu_.
+
+        // Deadline + watchdog state, guarded by mu_ except where
+        // noted. Valid while runningId is set and hasDeadline is true.
+        bool hasDeadline = false;
+        bool deadlineFired = false; ///< Monitor cancelled the job.
+        bool stuckLogged = false;   ///< Watchdog warning emitted.
+        std::chrono::steady_clock::time_point deadline{};
+        std::string lastStage; ///< Last stage begun (mu_).
+        std::atomic<int> lastIteration{-1}; ///< Last placer iteration.
     };
 
     void workerLoop(int worker_index);
+    void monitorLoop();
     void runJob(int worker_index, Job &job);
     void emit(const ResponseSink &sink, const JsonValue &response);
 
@@ -128,22 +217,28 @@ class PlacementServer
     bool topologyFor(const std::string &spec, const Topology *&out,
                      std::string &error);
 
-    /** Move @p id to the most-recent end of priorOrder_ (under mu_). */
-    void promotePrior(const std::string &id);
+    /** Backoff hint for "overloaded" rejections (under mu_). */
+    double retryAfterMsLocked() const;
 
     ServerOptions options_;
 
-    mutable std::mutex mu_; ///< Queue, worker state, priors, counters.
+    mutable std::mutex mu_; ///< Queue, worker state, counters.
     std::condition_variable workAvailable_;
     std::condition_variable workDone_;
+    std::condition_variable monitorCv_;
     std::deque<Job> queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    std::thread monitor_;
     bool stopping_ = false;
+    bool accepting_ = true; ///< Cleared when shutdown is requested.
     int completed_ = 0;
 
-    /** Finished layouts by job id, LRU-ordered for eviction. */
-    std::map<std::string, std::shared_ptr<const PriorLayout>> priors_;
-    std::deque<std::string> priorOrder_; ///< Front = evict next.
+    /** EWMA of job service time in ms (mu_); feeds retry_after_ms. */
+    double ewmaServiceMs_ = 0.0;
+    bool hasServiceSample_ = false;
+
+    /** Finished layouts by job id (thread-safe; optionally on disk). */
+    std::unique_ptr<PriorStore> priors_;
 
     std::mutex topoMu_;
     std::map<std::string, std::unique_ptr<Topology>> topologies_;

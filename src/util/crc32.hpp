@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant): the checksum
+ * guarding every record of the prior-store journal and snapshot files
+ * (service/prior_store.hpp). Table-driven, byte-at-a-time -- these
+ * records are small and written off the hot path, so simplicity wins
+ * over a sliced implementation.
+ */
+
+#ifndef QPLACER_UTIL_CRC32_HPP
+#define QPLACER_UTIL_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qplacer {
+
+/**
+ * CRC-32 of @p len bytes at @p data, continuing from @p seed (0 for a
+ * fresh checksum). crc32(crc32(a), b) == crc32(a concat b).
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/** Convenience overload for strings. */
+inline std::uint32_t
+crc32(const std::string &text, std::uint32_t seed = 0)
+{
+    return crc32(text.data(), text.size(), seed);
+}
+
+} // namespace qplacer
+
+#endif // QPLACER_UTIL_CRC32_HPP

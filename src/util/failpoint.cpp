@@ -1,0 +1,185 @@
+/** @file Failpoint registry implementation; contract in failpoint.hpp. */
+
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace qplacer {
+
+std::atomic<int> Failpoints::armedCount_{0};
+
+Failpoints &
+Failpoints::instance()
+{
+    static Failpoints registry;
+    return registry;
+}
+
+namespace {
+
+/** Parse one action spec; false + message on malformed input. */
+bool
+parseSpec(const std::string &spec, FailAction &action, int &delay_ms,
+          std::string *error)
+{
+    delay_ms = 0;
+    if (spec == "off") {
+        action = FailAction::Off;
+        return true;
+    }
+    if (spec == "error") {
+        action = FailAction::Error;
+        return true;
+    }
+    if (spec == "crash") {
+        action = FailAction::Crash;
+        return true;
+    }
+    if (spec.rfind("delay(", 0) == 0 && spec.size() >= 8 &&
+        spec.back() == ')') {
+        const std::string digits = spec.substr(6, spec.size() - 7);
+        bool numeric = !digits.empty() && digits.size() <= 7;
+        for (char c : digits)
+            numeric = numeric && c >= '0' && c <= '9';
+        if (numeric) {
+            action = FailAction::Delay;
+            delay_ms = std::atoi(digits.c_str());
+            return true;
+        }
+    }
+    if (error != nullptr)
+        *error = "bad failpoint action '" + spec +
+                 "' (expected off|error|crash|delay(ms))";
+    return false;
+}
+
+} // namespace
+
+bool
+Failpoints::arm(const std::string &site, const std::string &spec,
+                std::string *error)
+{
+    if (site.empty()) {
+        if (error != nullptr)
+            *error = "failpoint site must be non-empty";
+        return false;
+    }
+    FailAction action;
+    int delay_ms;
+    if (!parseSpec(spec, action, delay_ms, error))
+        return false;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    if (action == FailAction::Off) {
+        if (it != sites_.end()) {
+            sites_.erase(it);
+            armedCount_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        return true;
+    }
+    if (it == sites_.end())
+        armedCount_.fetch_add(1, std::memory_order_relaxed);
+    sites_[site] = FailpointSpec{site, action, delay_ms};
+    return true;
+}
+
+bool
+Failpoints::armFromList(const std::string &list, std::string *error)
+{
+    // Validate every entry before arming any: a typo in the middle of
+    // QPLACER_FAILPOINTS must not leave the registry half-armed.
+    std::vector<std::pair<std::string, std::string>> entries;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t end = list.find_first_of(";,", start);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string entry = list.substr(start, end - start);
+        start = end + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (error != nullptr)
+                *error = "bad failpoint entry '" + entry +
+                         "' (expected site=action)";
+            return false;
+        }
+        FailAction action;
+        int delay_ms;
+        if (!parseSpec(entry.substr(eq + 1), action, delay_ms, error))
+            return false;
+        entries.emplace_back(entry.substr(0, eq), entry.substr(eq + 1));
+    }
+    for (const auto &[site, spec] : entries)
+        if (!arm(site, spec, error))
+            return false;
+    return true;
+}
+
+void
+Failpoints::disarm(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sites_.erase(site) > 0)
+        armedCount_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Failpoints::disarmAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    armedCount_.fetch_sub(static_cast<int>(sites_.size()),
+                          std::memory_order_relaxed);
+    sites_.clear();
+}
+
+std::vector<FailpointSpec>
+Failpoints::armed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FailpointSpec> out;
+    out.reserve(sites_.size());
+    for (const auto &[site, spec] : sites_)
+        out.push_back(spec);
+    return out;
+}
+
+bool
+Failpoints::shouldFail(const char *site)
+{
+    FailpointSpec spec;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = sites_.find(site);
+        if (it == sites_.end())
+            return false;
+        spec = it->second;
+    }
+    switch (spec.action) {
+    case FailAction::Off:
+        return false;
+    case FailAction::Error:
+        warn(str("failpoint '", site, "': injecting error"));
+        return true;
+    case FailAction::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.delayMs));
+        return false;
+    case FailAction::Crash:
+        // The kill -9 stand-in: flush everything already written (an
+        // acked response must stay observable), then terminate without
+        // atexit handlers, destructors, or flushing anything further.
+        std::fprintf(stderr, "failpoint '%s': crashing process\n", site);
+        std::fflush(nullptr);
+        std::_Exit(137);
+    }
+    return false;
+}
+
+} // namespace qplacer

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * EINTR-retry wrappers for the socket syscalls the daemon's transport
+ * loops on. A stray signal (SIGCHLD from a supervisor, a debugger
+ * attach, a timer) interrupts recv/send/accept with EINTR; without
+ * these wrappers that tears down a perfectly healthy connection
+ * mid-job. Each wrapper simply retries while errno == EINTR and
+ * otherwise behaves exactly like the underlying call.
+ *
+ * POSIX-only, like the socket transport itself (tools/qplacer_server).
+ */
+
+#ifndef QPLACER_UTIL_NET_RETRY_HPP
+#define QPLACER_UTIL_NET_RETRY_HPP
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <cstddef>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace qplacer {
+
+/** recv() that retries on EINTR; same return/errno contract. */
+inline ssize_t
+retryRecv(int fd, void *buf, std::size_t len, int flags)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, len, flags);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+/** send() that retries on EINTR; same return/errno contract. */
+inline ssize_t
+retrySend(int fd, const void *buf, std::size_t len, int flags)
+{
+    for (;;) {
+        const ssize_t n = ::send(fd, buf, len, flags);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+/** accept() that retries on EINTR; same return/errno contract. */
+inline int
+retryAccept(int fd, sockaddr *addr, socklen_t *addrlen)
+{
+    for (;;) {
+        const int n = ::accept(fd, addr, addrlen);
+        if (n >= 0 || errno != EINTR)
+            return n;
+    }
+}
+
+/**
+ * Send all @p len bytes of @p data (retrying EINTR and short writes);
+ * false once the peer is gone or the send fails for real.
+ */
+inline bool
+sendAll(int fd, const char *data, std::size_t len, int flags)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n = retrySend(fd, data + sent, len - sent, flags);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace qplacer
+
+#endif // !_WIN32
+
+#endif // QPLACER_UTIL_NET_RETRY_HPP

@@ -1,0 +1,150 @@
+# CTest script: the crash-recovery property, end to end on the real
+# daemon. Invoked as:
+#   cmake -DQPLACER_SERVER=<path> -DWORK_DIR=<dir> -P crash_recovery.cmake
+#
+# For each persistence failpoint site (the journal append and the
+# snapshot write), three daemon runs over one --state-dir:
+#
+#   1. clean:   job "a" completes; its layout is the reference.
+#   2. crash:   QPLACER_FAILPOINTS=<site>=crash kills the process
+#               (std::_Exit, the kill -9 stand-in) while job "b"'s
+#               layout is being persisted; the daemon must die hard.
+#   3. recover: a fresh daemon replays the state directory and an
+#               empty-delta re-place of "a" reproduces its layout
+#               bitwise -- the acked-prior-survives-crash property.
+#
+# A final run checks the bounded transport: an oversized request line
+# is answered with a structured "line_too_long" error and the daemon
+# keeps serving.
+
+if(NOT QPLACER_SERVER OR NOT WORK_DIR)
+    message(FATAL_ERROR "crash_recovery.cmake needs -DQPLACER_SERVER and -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(submit_a "{\"type\":\"submit\",\"id\":\"a\",\"topology\":\"grid3x3\",\"seed\":3,\"set\":{\"placer.maxIters\":120},\"layout\":true}")
+set(submit_b "{\"type\":\"submit\",\"id\":\"b\",\"topology\":\"grid3x3\",\"seed\":4,\"set\":{\"placer.maxIters\":120},\"layout\":true}")
+set(submit_redo "{\"type\":\"submit\",\"id\":\"redo\",\"topology\":\"grid3x3\",\"seed\":3,\"set\":{\"placer.maxIters\":120},\"layout\":true,\"base\":\"a\"}")
+set(shutdown_req "{\"type\":\"shutdown\"}")
+
+foreach(site IN ITEMS "prior_store.append" "prior_store.snapshot")
+    string(REPLACE "." "_" tag "${site}")
+    set(state "${WORK_DIR}/state_${tag}")
+    set(extra_flags "")
+    if(site STREQUAL "prior_store.snapshot")
+        # Snapshot on every append so job "b" reaches the site.
+        set(extra_flags --snapshot-every 1)
+    endif()
+
+    # --- Run 1: clean; job "a" is acked and durable. ---
+    set(requests "${WORK_DIR}/run1_${tag}.ndjson")
+    file(WRITE "${requests}" "${submit_a}\n${shutdown_req}\n")
+    execute_process(
+        COMMAND "${QPLACER_SERVER}" --workers 1 --quiet
+                --state-dir "${state}" ${extra_flags}
+        INPUT_FILE "${requests}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        TIMEOUT 240)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "[${site}] clean run exited ${rc}\n${out}\n${err}")
+    endif()
+    set(a_result "")
+    string(REPLACE "\n" ";" lines "${out}")
+    foreach(line IN LISTS lines)
+        if(line MATCHES "\"type\":\"result\"" AND line MATCHES "\"id\":\"a\"")
+            set(a_result "${line}")
+        endif()
+    endforeach()
+    if(NOT a_result MATCHES "\"code\":\"ok\"")
+        message(FATAL_ERROR "[${site}] job a did not finish ok:\n${out}")
+    endif()
+    string(REGEX MATCH "\"layout\":\\[.*$" a_layout "${a_result}")
+    if(a_layout STREQUAL "")
+        message(FATAL_ERROR "[${site}] job a carries no layout:\n${a_result}")
+    endif()
+
+    # --- Run 2: the crash. The daemon must die with a non-zero code
+    # while persisting job "b", after "b"'s flow completed. ---
+    set(requests "${WORK_DIR}/run2_${tag}.ndjson")
+    file(WRITE "${requests}" "${submit_b}\n${shutdown_req}\n")
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E env "QPLACER_FAILPOINTS=${site}=crash"
+                "${QPLACER_SERVER}" --workers 1 --quiet --enable-failpoints
+                --state-dir "${state}" ${extra_flags}
+        INPUT_FILE "${requests}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        TIMEOUT 240)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR "[${site}] crash run exited cleanly; failpoint never fired\n${out}\n${err}")
+    endif()
+    if(NOT out MATCHES "\"type\":\"ack\".*\"id\":\"b\"" AND NOT out MATCHES "\"id\":\"b\".*\"type\":\"ack\"")
+        if(NOT out MATCHES "\"type\":\"ack\"")
+            message(FATAL_ERROR "[${site}] job b was never acked before the crash\n${out}")
+        endif()
+    endif()
+
+    # --- Run 3: recovery. "a" must re-place bitwise from disk. ---
+    set(requests "${WORK_DIR}/run3_${tag}.ndjson")
+    file(WRITE "${requests}" "${submit_redo}\n${shutdown_req}\n")
+    execute_process(
+        COMMAND "${QPLACER_SERVER}" --workers 1 --quiet
+                --state-dir "${state}" ${extra_flags}
+        INPUT_FILE "${requests}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        TIMEOUT 240)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "[${site}] recovery run exited ${rc}\n${out}\n${err}")
+    endif()
+    set(redo_result "")
+    string(REPLACE "\n" ";" lines "${out}")
+    foreach(line IN LISTS lines)
+        if(line MATCHES "\"type\":\"result\"" AND line MATCHES "\"id\":\"redo\"")
+            set(redo_result "${line}")
+        endif()
+    endforeach()
+    if(NOT redo_result MATCHES "\"code\":\"ok\"")
+        message(FATAL_ERROR "[${site}] recovery re-place failed:\n${out}\n${err}")
+    endif()
+    if(NOT redo_result MATCHES "\"reused_prior\":true")
+        message(FATAL_ERROR "[${site}] recovered prior was not reused:\n${redo_result}")
+    endif()
+    string(REGEX MATCH "\"layout\":\\[.*$" redo_layout "${redo_result}")
+    if(NOT redo_layout STREQUAL a_layout)
+        message(FATAL_ERROR "[${site}] recovered layout diverged from the acked one")
+    endif()
+    message(STATUS "crash_recovery[${site}]: OK")
+endforeach()
+
+# --- Bounded transport: an oversized line gets a structured error and
+# the daemon keeps answering. ---
+string(REPEAT "x" 300 oversized)
+set(requests "${WORK_DIR}/oversized.ndjson")
+file(WRITE "${requests}" "${oversized}\n{\"type\":\"ping\"}\n${shutdown_req}\n")
+execute_process(
+    COMMAND "${QPLACER_SERVER}" --workers 1 --quiet --max-line-bytes 200
+    INPUT_FILE "${requests}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 240)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "oversized-line run exited ${rc}\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "\"code\":\"line_too_long\"")
+    message(FATAL_ERROR "oversized line produced no line_too_long error:\n${out}")
+endif()
+if(NOT out MATCHES "\"type\":\"pong\"")
+    message(FATAL_ERROR "daemon stopped serving after the oversized line:\n${out}")
+endif()
+if(NOT out MATCHES "\"type\":\"bye\"")
+    message(FATAL_ERROR "daemon did not shut down cleanly:\n${out}")
+endif()
+message(STATUS "crash_recovery[line_too_long]: OK")

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Failpoint registry tests: spec parsing, the arm/disarm lifecycle,
+ * the zero-cost disarmed fast path, delay semantics, and the
+ * all-or-nothing environment-list arming. The crash action is
+ * exercised out-of-process by the crash-recovery suite
+ * (tests/service/crash_recovery.cmake), never here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace qplacer {
+namespace {
+
+/** RAII teardown: no test may leak armed sites into the next. */
+struct FailpointGuard
+{
+    FailpointGuard() { Failpoints::instance().disarmAll(); }
+    ~FailpointGuard() { Failpoints::instance().disarmAll(); }
+};
+
+TEST(Failpoint, DisarmedByDefault)
+{
+    FailpointGuard guard;
+    EXPECT_FALSE(Failpoints::anyArmed());
+    EXPECT_FALSE(QPLACER_FAILPOINT("some.site"));
+    EXPECT_TRUE(Failpoints::instance().armed().empty());
+}
+
+TEST(Failpoint, ErrorActionFiresOnlyAtItsSite)
+{
+    FailpointGuard guard;
+    ASSERT_TRUE(Failpoints::instance().arm("a.site", "error"));
+    EXPECT_TRUE(Failpoints::anyArmed());
+    EXPECT_TRUE(QPLACER_FAILPOINT("a.site"));
+    EXPECT_TRUE(QPLACER_FAILPOINT("a.site")); // Sticky, not one-shot.
+    EXPECT_FALSE(QPLACER_FAILPOINT("b.site"));
+
+    Failpoints::instance().disarm("a.site");
+    EXPECT_FALSE(QPLACER_FAILPOINT("a.site"));
+    EXPECT_FALSE(Failpoints::anyArmed());
+}
+
+TEST(Failpoint, OffSpecDisarms)
+{
+    FailpointGuard guard;
+    ASSERT_TRUE(Failpoints::instance().arm("a.site", "error"));
+    ASSERT_TRUE(Failpoints::instance().arm("a.site", "off"));
+    EXPECT_FALSE(QPLACER_FAILPOINT("a.site"));
+    EXPECT_FALSE(Failpoints::anyArmed());
+}
+
+TEST(Failpoint, DelaySleepsThenContinues)
+{
+    FailpointGuard guard;
+    ASSERT_TRUE(Failpoints::instance().arm("slow.site", "delay(30)"));
+    const auto start = std::chrono::steady_clock::now();
+    // Delay is not a failure: the caller proceeds normally.
+    EXPECT_FALSE(QPLACER_FAILPOINT("slow.site"));
+    const auto elapsed = std::chrono::duration_cast<
+        std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                   start);
+    EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST(Failpoint, RejectsMalformedSpecs)
+{
+    FailpointGuard guard;
+    std::string error;
+    EXPECT_FALSE(Failpoints::instance().arm("s", "boom", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Failpoints::instance().arm("s", "delay(", &error));
+    EXPECT_FALSE(Failpoints::instance().arm("s", "delay()", &error));
+    EXPECT_FALSE(Failpoints::instance().arm("s", "delay(-1)", &error));
+    EXPECT_FALSE(Failpoints::instance().arm("s", "delay(12x)", &error));
+    EXPECT_FALSE(
+        Failpoints::instance().arm("s", "delay(99999999)", &error));
+    EXPECT_FALSE(Failpoints::instance().arm("", "error", &error));
+    EXPECT_FALSE(Failpoints::anyArmed());
+}
+
+TEST(Failpoint, ArmedSnapshotIsSorted)
+{
+    FailpointGuard guard;
+    ASSERT_TRUE(Failpoints::instance().arm("z.site", "error"));
+    ASSERT_TRUE(Failpoints::instance().arm("a.site", "delay(5)"));
+    const auto armed = Failpoints::instance().armed();
+    ASSERT_EQ(armed.size(), 2u);
+    EXPECT_EQ(armed[0].site, "a.site");
+    EXPECT_EQ(armed[0].action, FailAction::Delay);
+    EXPECT_EQ(armed[0].delayMs, 5);
+    EXPECT_EQ(armed[1].site, "z.site");
+    EXPECT_EQ(armed[1].action, FailAction::Error);
+}
+
+TEST(Failpoint, ListArmingIsAllOrNothing)
+{
+    FailpointGuard guard;
+    std::string error;
+    EXPECT_FALSE(Failpoints::instance().armFromList(
+        "a.site=error;b.site=bogus", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(Failpoints::anyArmed()) << "partial arming leaked";
+
+    EXPECT_TRUE(Failpoints::instance().armFromList(
+        "a.site=error;;b.site=delay(5),c.site=off", &error))
+        << error;
+    EXPECT_TRUE(QPLACER_FAILPOINT("a.site"));
+    EXPECT_EQ(Failpoints::instance().armed().size(), 2u);
+
+    Failpoints::instance().disarmAll();
+    EXPECT_FALSE(Failpoints::anyArmed());
+}
+
+} // namespace
+} // namespace qplacer
